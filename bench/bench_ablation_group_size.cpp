@@ -1,0 +1,32 @@
+// Ablation for §III-D: the RAID-Group size trades off parity storage,
+// repair latency, and reliability. Sweeps the group size and prints FIT,
+// PLT storage, and the 9 ns-per-read repair latency for each point.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "reliability/analytical.h"
+
+using namespace sudoku;
+using namespace sudoku::reliability;
+
+int main() {
+  bench::print_header("Ablation (§III-D): RAID-Group size tradeoff");
+  std::printf("\n  %-8s %12s %12s %14s %14s %12s\n", "Group", "X-FIT", "Z-FIT(strict)",
+              "PLT KB/table", "PLT bits/line", "repair us");
+  for (const std::uint32_t g : {64u, 128u, 256u, 512u, 1024u, 2048u}) {
+    CacheParams c;
+    c.group_size = g;
+    const double plt_kb = static_cast<double>(c.num_groups()) * 553 / 8.0 / 1024.0;
+    const double bits_per_line = 553.0 / g;
+    const double repair_us = g * 9.0 / 1000.0;
+    std::printf("  %-8u %12s %12s %14.0f %14.2f %12.2f\n", g,
+                bench::sci(sudoku_x_due(c).fit()).c_str(),
+                bench::sci(sudoku_z_due(c, SdrModel::kStrict).fit()).c_str(), plt_kb,
+                bits_per_line, repair_us);
+  }
+  std::printf("\n  the paper picks 512: ~128 KB PLT payload per table, <=16 us repair,\n");
+  std::printf("  FIT comfortably below target — this sweep shows both directions of\n");
+  std::printf("  the tradeoff (small groups: storage balloons; large: FIT and repair\n");
+  std::printf("  latency grow).\n");
+  return 0;
+}

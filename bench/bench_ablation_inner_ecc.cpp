@@ -1,0 +1,47 @@
+// §VII-G ablation: "SuDoku can be enhanced even further by replacing ECC-1
+// with ECC-2." Sweeps the inner-code strength and prints the reliability /
+// storage tradeoff for the whole SuDoku ladder, at the paper's BER and at
+// the degraded Delta=33 operating point where the enhancement matters.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "reliability/analytical.h"
+#include "sttram/device_model.h"
+
+using namespace sudoku;
+using namespace sudoku::reliability;
+
+namespace {
+
+void sweep(double ber, const char* label) {
+  bench::print_header(std::string("Inner-ECC sweep at ") + label);
+  std::printf("\n  %-8s %10s | %12s %12s %14s | %12s\n", "inner", "bits/line",
+              "X FIT", "Y FIT", "Z FIT (strict)", "Z (mech)");
+  for (int t = 1; t <= 3; ++t) {
+    CacheParams c;
+    c.ber = ber;
+    c.inner_ecc_t = t;
+    std::printf("  ECC-%-4d %10u | %12s %12s %14s | %12s\n", t,
+                c.sudoku_line_bits() - 512,
+                bench::sci(sudoku_x_due(c).fit()).c_str(),
+                bench::sci(sudoku_y_due(c).fit()).c_str(),
+                bench::sci(sudoku_z_due(c, SdrModel::kStrict).fit()).c_str(),
+                bench::sci(sudoku_z_due(c).fit()).c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  CacheParams base;
+  sweep(base.ber, "the paper's operating point (Delta=35, BER 5.3e-6)");
+
+  ThermalParams d33;
+  d33.delta_mean = 33.0;
+  sweep(effective_ber(d33, 0.02), "Delta=33 (scaled-down node)");
+
+  std::printf("\n  takeaway (paper §VII-G): at degraded Delta, swapping the inner\n");
+  std::printf("  code from ECC-1 to ECC-2 (+10 bits/line) restores orders of\n");
+  std::printf("  magnitude of reliability without touching the RAID machinery.\n");
+  return 0;
+}

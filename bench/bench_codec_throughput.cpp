@@ -1,0 +1,100 @@
+// google-benchmark microbenchmarks of the coding substrate: CRC-31 check,
+// Hamming ECC-1 encode/decode, BCH ECC-k decode for k = 1..6. Contextual
+// for §II-D's point that multi-bit ECC decoders are far more expensive
+// than ECC-1 + CRC: the BCH decode cost grows with k while the SuDoku
+// fast path stays flat.
+#include <benchmark/benchmark.h>
+
+#include "codes/bch.h"
+#include "codes/crc31.h"
+#include "codes/hamming.h"
+#include "common/rng.h"
+
+using namespace sudoku;
+
+namespace {
+
+BitVec random_bits(std::size_t n, Rng& rng) {
+  BitVec v(n);
+  auto w = v.words();
+  for (auto& word : w) word = rng.next_u64();
+  // Mask tail.
+  if (n % 64) w[w.size() - 1] &= (std::uint64_t{1} << (n % 64)) - 1;
+  return v;
+}
+
+void BM_Crc31Compute(benchmark::State& state) {
+  Rng rng(1);
+  Crc31 crc;
+  const BitVec data = random_bits(512, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(crc.compute(data));
+}
+BENCHMARK(BM_Crc31Compute);
+
+void BM_HammingEncode(benchmark::State& state) {
+  Rng rng(2);
+  Hamming h(543);
+  BitVec cw = random_bits(553, rng);
+  for (auto _ : state) {
+    h.encode(cw);
+    benchmark::DoNotOptimize(cw);
+  }
+}
+BENCHMARK(BM_HammingEncode);
+
+void BM_HammingDecodeClean(benchmark::State& state) {
+  Rng rng(3);
+  Hamming h(543);
+  BitVec cw = random_bits(553, rng);
+  h.encode(cw);
+  for (auto _ : state) {
+    BitVec copy = cw;
+    benchmark::DoNotOptimize(h.decode(copy));
+  }
+}
+BENCHMARK(BM_HammingDecodeClean);
+
+void BM_HammingDecodeOneError(benchmark::State& state) {
+  Rng rng(4);
+  Hamming h(543);
+  BitVec cw = random_bits(553, rng);
+  h.encode(cw);
+  for (auto _ : state) {
+    BitVec copy = cw;
+    copy.flip(rng.next_below(553));
+    benchmark::DoNotOptimize(h.decode(copy));
+  }
+}
+BENCHMARK(BM_HammingDecodeOneError);
+
+void BM_BchDecode(benchmark::State& state) {
+  const int t = static_cast<int>(state.range(0));
+  Rng rng(5);
+  Bch bch(10, t, 512);
+  BitVec cw = random_bits(bch.codeword_bits(), rng);
+  // Re-encode so the word is valid, then corrupt t bits.
+  for (std::size_t i = 512; i < cw.size(); ++i) cw.reset(i);
+  bch.encode(cw);
+  for (auto _ : state) {
+    BitVec copy = cw;
+    for (int e = 0; e < t; ++e) copy.flip(rng.next_below(copy.size()));
+    benchmark::DoNotOptimize(bch.decode(copy));
+  }
+}
+BENCHMARK(BM_BchDecode)->DenseRange(1, 6);
+
+void BM_BchEncode(benchmark::State& state) {
+  const int t = static_cast<int>(state.range(0));
+  Rng rng(6);
+  Bch bch(10, t, 512);
+  BitVec cw = random_bits(bch.codeword_bits(), rng);
+  for (auto _ : state) {
+    bch.encode(cw);
+    benchmark::DoNotOptimize(cw);
+  }
+}
+BENCHMARK(BM_BchEncode)->DenseRange(1, 6);
+
+}  // namespace
+
+BENCHMARK_MAIN();

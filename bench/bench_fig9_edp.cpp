@@ -1,0 +1,95 @@
+// Reproduces Figure 9: System Energy-Delay Product of SuDoku-Z normalized
+// to the error-free ideal baseline (Table VII energy parameters). The
+// paper reports an increase of at most ~0.4% on average, driven by the PLT
+// updates on every cache write.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "energy/energy_model.h"
+#include "sim/timing_sim.h"
+
+using namespace sudoku;
+using namespace sudoku::sim;
+
+namespace {
+
+struct EdpPair {
+  double ratio;
+  double plt_j;
+};
+
+EdpPair run_pair(const std::vector<std::string>& benchmarks, std::uint64_t instr) {
+  SimConfig with;
+  with.instructions_per_core = instr;
+  SimConfig ideal = with;
+  ideal.sudoku.enabled = false;
+
+  const auto r_with = TimingSimulator(with).run(benchmarks);
+  const auto r_ideal = TimingSimulator(ideal).run(benchmarks);
+
+  energy::EnergyParams params;
+  const std::uint64_t sttram_cells = with.llc.num_lines() * 553;
+  // SuDoku-Z: two PLTs of 2048 parity lines × 553 bits in SRAM (§VII-H).
+  const std::uint64_t plt_cells = 2ull * 2048 * 553;
+  const auto e_with = energy::compute_energy(r_with, params, sttram_cells, plt_cells);
+  const auto e_ideal = energy::compute_energy(r_ideal, params, sttram_cells, 0);
+  return {energy::edp(e_with, r_with.total_time_ns) /
+              energy::edp(e_ideal, r_ideal.total_time_ns),
+          e_with.plt_dynamic_j};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t instr = argc > 1 ? std::stoull(argv[1]) : 400'000;
+
+  bench::print_header("Figure 9: System-EDP of SuDoku-Z normalized to error-free baseline");
+  bench::print_subnote("Table VII: STTRAM 0.35/0.13 nJ per write/read, 0.07 nW/cell static;");
+  bench::print_subnote("SRAM 0.11/0.05 nJ, 4.02 nW/cell; codec 40 pJ/line.");
+  std::printf("\n  %-16s %-8s %12s\n", "benchmark", "suite", "norm. EDP");
+
+  double sum = 0.0;
+  int count = 0;
+  double worst = 0.0;
+  for (const auto& b : benchmark_roster()) {
+    const auto r = run_pair({b.name}, instr);
+    std::printf("  %-16s %-8s %12.5f\n", b.name.c_str(), b.suite.c_str(), r.ratio);
+    sum += r.ratio;
+    worst = std::max(worst, r.ratio);
+    ++count;
+  }
+  const std::vector<std::vector<std::string>> mixes = {
+      {"mcf", "gcc", "lbm", "swaptions", "comm1", "mummer", "x264", "soplex"},
+      {"libquantum", "omnetpp", "canneal", "hmmer", "comm2", "tigr", "vips", "astar"},
+      {"bwaves", "xalancbmk", "streamcluster", "gobmk", "comm3", "fasta-dna",
+       "bodytrack", "milc"},
+      {"GemsFDTD", "sjeng", "dedup", "perlbench", "comm4", "sphinx3", "ferret",
+       "leslie3d"},
+  };
+  for (std::size_t m = 0; m < mixes.size(); ++m) {
+    const auto r = run_pair(mixes[m], instr);
+    std::printf("  MIX%-13zu %-8s %12.5f\n", m + 1, "MIX", r.ratio);
+    sum += r.ratio;
+    worst = std::max(worst, r.ratio);
+    ++count;
+  }
+
+  std::printf("\n  average normalized EDP: %.5f (paper: <= ~1.004 on average)\n",
+              sum / count);
+  std::printf("  worst case:             %.5f\n", worst);
+
+  // §VII-I: PLT write traffic. One representative heavy-write run shows
+  // the SRAM PLT ports loafing far below the STTRAM banks they shadow.
+  SimConfig cfg;
+  cfg.instructions_per_core = instr;
+  const auto r = TimingSimulator(cfg).run({"lbm", "comm1", "comm2", "dedup"});
+  std::printf("\n  §VII-I PLT bandwidth check (write-heavy mix):\n");
+  std::printf("  LLC bank utilization: %.2f%%   PLT port utilization: %.2f%%\n",
+              100 * r.llc_bank_utilization(cfg.llc.banks),
+              100 * r.plt_bank_utilization(cfg.llc.banks));
+  std::printf("  (PLT writes are 1ns SRAM ops vs 18ns STTRAM writes: no bottleneck,\n");
+  std::printf("   as the paper argues.)\n");
+  return 0;
+}

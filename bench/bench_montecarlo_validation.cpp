@@ -1,0 +1,66 @@
+// Cross-validation of the analytical FIT models against the functional
+// Monte-Carlo harness (which runs the real controllers) in an accelerated
+// BER regime where failures are observable. This is the evidence that the
+// analytical numbers used at the paper's operating point describe the
+// implemented algorithms. (At BER 5.3e-6, SuDoku-Y fails about once per
+// hundred simulated hours and SuDoku-Z effectively never — direct MC at
+// the operating point is computationally meaningless, which is why the
+// paper itself uses analytical models, §VII-A.)
+#include <cstdio>
+
+#include "bench_util.h"
+#include "reliability/analytical.h"
+#include "reliability/montecarlo.h"
+
+using namespace sudoku;
+using namespace sudoku::reliability;
+
+namespace {
+
+void validate(SudokuLevel level, double ber, std::uint64_t intervals) {
+  McConfig cfg;
+  cfg.cache.num_lines = 1u << 12;
+  cfg.cache.group_size = 64;
+  cfg.cache.ber = ber;
+  cfg.level = level;
+  cfg.max_intervals = intervals;
+  cfg.seed = 99;
+  const auto mc = run_montecarlo(cfg);
+
+  FitResult an{};
+  switch (level) {
+    case SudokuLevel::kX: an = sudoku_x_due(cfg.cache); break;
+    case SudokuLevel::kY: an = sudoku_y_due(cfg.cache); break;
+    case SudokuLevel::kZ: an = sudoku_z_due(cfg.cache); break;
+  }
+  std::printf("  %-9s ber=%-8s MC p/interval=%-10s analytical=%-10s events=%llu  sdc=%llu\n",
+              to_string(level), bench::sci(ber).c_str(),
+              bench::sci(mc.p_failure_per_interval()).c_str(),
+              bench::sci(an.p_interval()).c_str(),
+              static_cast<unsigned long long>(mc.failure_intervals),
+              static_cast<unsigned long long>(mc.sdc_lines));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t scale = argc > 1 ? std::stoull(argv[1]) : 1;
+
+  bench::print_header("Monte-Carlo vs analytical (256 KB cache, 64-line groups)");
+  std::printf("\n  SuDoku-X (failures ~ groups with two 2-fault lines):\n");
+  validate(SudokuLevel::kX, 1e-4, 800 * scale);
+  validate(SudokuLevel::kX, 2e-4, 400 * scale);
+
+  std::printf("\n  SuDoku-Y (failures need 3+3-fault pairs / full overlaps):\n");
+  validate(SudokuLevel::kY, 1.5e-4, 2500 * scale);
+  validate(SudokuLevel::kY, 2.5e-4, 500 * scale);
+
+  std::printf("\n  SuDoku-Z (failures need hard 4-cycles; at the Y-failure BER the\n");
+  std::printf("  MC should show far fewer events than Y):\n");
+  validate(SudokuLevel::kZ, 3.5e-4, 300 * scale);
+
+  std::printf("\n  The analytical models capture the leading-order failure modes;\n");
+  std::printf("  MC includes every higher-order interaction, so modest (<2x)\n");
+  std::printf("  deviations are expected. SDC must be 0 in all runs.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Reproduces Table X: impact of thermal stability Delta on ECC-6 vs
+// SuDoku. BERs are derived from the device model at each Delta; the
+// paper's FIT values are printed alongside.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "reliability/analytical.h"
+#include "sttram/device_model.h"
+
+using namespace sudoku;
+using namespace sudoku::reliability;
+
+int main() {
+  bench::print_header("Table X: Impact of Delta — ECC-6 vs SuDoku");
+
+  struct Row {
+    double delta;
+    const char* paper_ecc6;
+    const char* paper_sudoku;
+    const char* paper_strength;
+  };
+  const Row rows[] = {
+      {35, "0.092", "1.05e-4", "874x"},
+      {34, "4.63", "1.15e-2", "402x"},
+      {33, "1240", "8", "155x"},
+  };
+
+  std::printf("\n  %-6s %10s | %10s %8s | %12s %12s %10s | %10s %8s\n", "Delta",
+              "BER(model)", "ECC-6", "paper", "Z (strict)", "Z (mech)", "paper",
+              "strength", "paper");
+  for (const auto& r : rows) {
+    ThermalParams tp;
+    tp.delta_mean = r.delta;
+    const double ber = effective_ber(tp, 0.02);
+    CacheParams c;
+    c.ber = ber;
+    const double f6 = ecc_k(c, 6).fit();
+    const double fz_strict = sudoku_z_due(c, SdrModel::kStrict).fit();
+    const double fz_mech = sudoku_z_due(c).fit();
+    std::printf("  %-6.0f %10s | %10s %8s | %12s %12s %10s | %9.0fx %8s\n", r.delta,
+                bench::sci(ber).c_str(), bench::sci(f6).c_str(), r.paper_ecc6,
+                bench::sci(fz_strict).c_str(), bench::sci(fz_mech).c_str(),
+                r.paper_sudoku, f6 / fz_mech, r.paper_strength);
+  }
+  std::printf("\n  'strength' uses the mechanistic model (what the implemented\n");
+  std::printf("  controller achieves): SuDoku stays orders of magnitude stronger\n");
+  std::printf("  than ECC-6 as Delta shrinks — the Table X claim. The strict\n");
+  std::printf("  (static-blocking) bound collapses at Delta 33 because its\n");
+  std::printf("  multi-soft-partner term saturates at high BER.\n");
+  return 0;
+}

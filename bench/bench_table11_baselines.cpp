@@ -1,0 +1,98 @@
+// Reproduces Table XI: CPPC / RAID-6 / 2DP vs SuDoku, all provisioned with
+// CRC-31 per line (and ECC-1 where applicable). Prints the analytical FIT
+// at the paper's operating point and a functional Monte-Carlo comparison
+// at an accelerated BER where every scheme's failures are observable.
+#include <cstdio>
+
+#include "baselines/cppc_cache.h"
+#include "baselines/mc_runner.h"
+#include "baselines/raid6_cache.h"
+#include "baselines/twodp_cache.h"
+#include "bench_util.h"
+#include "reliability/analytical.h"
+#include "reliability/montecarlo.h"
+
+using namespace sudoku;
+using namespace sudoku::reliability;
+
+int main() {
+  bench::print_header("Table XI: Comparing CPPC, RAID-6, 2DP with SuDoku");
+
+  CacheParams c;
+  struct Row {
+    const char* name;
+    double fit;
+    const char* paper;
+  };
+  const Row rows[] = {
+      {"CPPC + CRC-31", cppc(c).fit(), "1.69e14"},
+      {"RAID-6 + CRC-31", raid6(c).fit(), "571e3"},
+      {"2DP ECC-1+CRC-31", twodp(c).fit(), "2.8e8"},
+      {"SuDoku-Z (strict)", sudoku_z_due(c, SdrModel::kStrict).fit(), "1.05e-4"},
+      {"SuDoku-Z (mechanistic)", sudoku_z_due(c).fit(), "1.05e-4"},
+  };
+  std::printf("\n  %-24s %14s %12s\n", "Scheme", "FIT (ours)", "paper");
+  for (const auto& r : rows) {
+    std::printf("  %-24s %14s %12s\n", r.name, bench::sci(r.fit).c_str(), r.paper);
+  }
+  std::printf("\n  note: our RAID-6 model (P+Q erasure pair, fails at 3 multi-bit\n"
+              "  lines/group) yields a higher FIT than the paper's 571e3; the paper\n"
+              "  describes diagonal+row parities whose exact model it does not give.\n"
+              "  The headline ordering — SuDoku >= 1e6x stronger than all three —\n"
+              "  holds in both accountings.\n");
+
+  bench::print_header(
+      "Functional Monte-Carlo at accelerated BER (1 MB cache, 128-line groups, BER 1e-4)");
+  baselines::BaselineMcConfig mcfg;
+  mcfg.ber = 1e-4;
+  mcfg.max_intervals = 300;
+  mcfg.seed = 7;
+
+  // 128-line groups: SuDoku-Z's skewed hash needs num_lines >= group^2.
+  const std::uint64_t lines = 1u << 14;
+  const std::uint32_t group = 128;
+  {
+    baselines::CppcCache s(lines);
+    const auto r = run_baseline_mc(s, mcfg);
+    std::printf("  %-24s failure intervals: %llu/%llu\n", s.name().c_str(),
+                static_cast<unsigned long long>(r.failure_intervals),
+                static_cast<unsigned long long>(r.intervals));
+  }
+  {
+    baselines::Raid6Cache s(lines, group);
+    const auto r = run_baseline_mc(s, mcfg);
+    std::printf("  %-24s failure intervals: %llu/%llu\n", s.name().c_str(),
+                static_cast<unsigned long long>(r.failure_intervals),
+                static_cast<unsigned long long>(r.intervals));
+  }
+  {
+    // The paper's wording ("diagonal parity and row-wise parity") matches
+    // RDP; both constructions correct two erasures, so the counts agree.
+    baselines::Raid6Cache s(lines, group, baselines::Raid6Flavor::kRdp);
+    const auto r = run_baseline_mc(s, mcfg);
+    std::printf("  %-24s failure intervals: %llu/%llu\n", s.name().c_str(),
+                static_cast<unsigned long long>(r.failure_intervals),
+                static_cast<unsigned long long>(r.intervals));
+  }
+  {
+    baselines::TwoDpCache s(lines, group);
+    const auto r = run_baseline_mc(s, mcfg);
+    std::printf("  %-24s failure intervals: %llu/%llu\n", s.name().c_str(),
+                static_cast<unsigned long long>(r.failure_intervals),
+                static_cast<unsigned long long>(r.intervals));
+  }
+  {
+    McConfig zc;
+    zc.cache.num_lines = lines;
+    zc.cache.group_size = group;
+    zc.cache.ber = mcfg.ber;
+    zc.level = SudokuLevel::kZ;
+    zc.max_intervals = mcfg.max_intervals;
+    zc.seed = mcfg.seed;
+    const auto r = run_montecarlo(zc);
+    std::printf("  %-24s failure intervals: %llu/%llu\n", "SuDoku-Z",
+                static_cast<unsigned long long>(r.failure_intervals),
+                static_cast<unsigned long long>(r.intervals));
+  }
+  return 0;
+}

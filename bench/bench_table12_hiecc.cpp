@@ -1,0 +1,36 @@
+// Reproduces Table XII: SuDoku vs Hi-ECC (ECC-6 over 1 KB regions). Also
+// prints the storage-overhead comparison of §VII-H and §VIII-C.
+#include <cstdio>
+
+#include "baselines/hiecc_cache.h"
+#include "bench_util.h"
+#include "reliability/analytical.h"
+
+using namespace sudoku;
+using namespace sudoku::reliability;
+
+int main() {
+  bench::print_header("Table XII: SuDoku vs Hi-ECC");
+
+  CacheParams c;
+  std::printf("\n  %-24s %14s %12s\n", "Scheme", "FIT (ours)", "paper");
+  std::printf("  %-24s %14s %12s\n", "SuDoku-Z (strict)",
+              bench::sci(sudoku_z_due(c, SdrModel::kStrict).fit()).c_str(), "1.05e-4");
+  std::printf("  %-24s %14s %12s\n", "Hi-ECC (ECC-6/1KB)",
+              bench::sci(hi_ecc(c).fit()).c_str(), "1.47");
+  std::printf("\n  note: our Hi-ECC binomial over 8276 bits yields a higher FIT than\n"
+              "  the paper's 1.47; both agree Hi-ECC misses the 1-FIT target while\n"
+              "  SuDoku beats it by orders of magnitude (the Table XII claim).\n");
+
+  bench::print_header("Storage overhead per 64B line (§VII-H)");
+  baselines::HiEccCache hi(1u << 14);
+  std::printf("  %-24s %10s\n", "Scheme", "bits/line");
+  std::printf("  %-24s %10.2f\n", "ECC-6 per line", 60.0);
+  std::printf("  %-24s %10.2f   (10 ECC-1 + 31 CRC + 2 PLT amortized)\n",
+              "SuDoku-Z", 43.0);
+  std::printf("  %-24s %10.2f   (84 bits per 16-line region)\n",
+              hi.name().c_str(), hi.overhead_bits_per_line());
+  std::printf("\n  SuDoku saves %.0f%% storage vs ECC-6 (paper: ~30%%).\n",
+              (1.0 - 43.0 / 60.0) * 100.0);
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Small shared helpers for the table/figure reproduction binaries: aligned
+// row printing and scientific formatting that matches the paper's tables.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace sudoku::bench {
+
+inline void print_header(const std::string& title) {
+  std::printf("\n==========================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==========================================================================\n");
+}
+
+inline void print_subnote(const std::string& note) {
+  std::printf("  %s\n", note.c_str());
+}
+
+inline std::string sci(double v) {
+  if (v == 0.0) return "0";
+  char buf[32];
+  if (v >= 0.01 && v < 1e5) {
+    std::snprintf(buf, sizeof(buf), "%.3g", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2e", v);
+  }
+  return buf;
+}
+
+inline std::string fixed(double v, int digits) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+}  // namespace sudoku::bench

@@ -1,0 +1,85 @@
+// LLC timing-simulation walkthrough: run the Table VI system on a chosen
+// multi-programmed workload, with and without SuDoku-Z, and print the
+// performance/energy story of §VII-C/D for that workload.
+//
+// Usage: llc_simulation [bench1,bench2,...] [instructions_per_core]
+//        llc_simulation --list            (show the benchmark roster)
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "energy/energy_model.h"
+#include "sim/timing_sim.h"
+
+using namespace sudoku;
+using namespace sudoku::sim;
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--list") {
+    std::printf("%-16s %-8s %8s %8s %12s\n", "name", "suite", "APKI", "wr%", "footprint");
+    for (const auto& b : benchmark_roster()) {
+      std::printf("%-16s %-8s %8.1f %7.0f%% %9.0f MB\n", b.name.c_str(),
+                  b.suite.c_str(), b.llc_apki, b.write_frac * 100,
+                  static_cast<double>(b.footprint_lines) * 64 / (1 << 20));
+    }
+    return 0;
+  }
+
+  std::vector<std::string> benchmarks = {"mcf", "gcc", "lbm", "omnetpp",
+                                         "comm1", "canneal", "x264", "milc"};
+  if (argc > 1) {
+    benchmarks.clear();
+    std::stringstream ss(argv[1]);
+    std::string item;
+    while (std::getline(ss, item, ',')) benchmarks.push_back(item);
+  }
+  SimConfig cfg;
+  if (argc > 2) cfg.instructions_per_core = std::stoull(argv[2]);
+
+  std::printf("workload:");
+  for (const auto& b : benchmarks) std::printf(" %s", b.c_str());
+  std::printf("\nsystem: %u cores @%.1fGHz, %llu MB LLC, %llu instr/core\n\n",
+              cfg.num_cores, cfg.core_ghz,
+              static_cast<unsigned long long>(cfg.llc.size_bytes >> 20),
+              static_cast<unsigned long long>(cfg.instructions_per_core));
+
+  SimConfig ideal = cfg;
+  ideal.sudoku.enabled = false;
+  const auto r_sudoku = TimingSimulator(cfg).run(benchmarks);
+  const auto r_ideal = TimingSimulator(ideal).run(benchmarks);
+
+  std::printf("%-14s %12s %12s\n", "", "Ideal", "SuDoku-Z");
+  std::printf("%-14s %10.3f ms %10.3f ms\n", "exec time", r_ideal.total_time_ns / 1e6,
+              r_sudoku.total_time_ns / 1e6);
+  std::printf("%-14s %12.3f %12.3f\n", "LLC hit rate", r_ideal.llc.hit_rate(),
+              r_sudoku.llc.hit_rate());
+  std::printf("%-14s %12llu %12llu\n", "DRAM accesses",
+              static_cast<unsigned long long>(r_ideal.dram_accesses),
+              static_cast<unsigned long long>(r_sudoku.dram_accesses));
+  std::printf("%-14s %12llu %12llu\n", "PLT writes", 0ull,
+              static_cast<unsigned long long>(r_sudoku.plt_writes));
+  std::printf("%-14s %12s %12llu\n", "scrub reads", "-",
+              static_cast<unsigned long long>(r_sudoku.scrub_reads));
+
+  energy::EnergyParams params;
+  const std::uint64_t cells = cfg.llc.num_lines() * 553;
+  const auto e_sudoku = energy::compute_energy(r_sudoku, params, cells, 2ull * 2048 * 553);
+  const auto e_ideal = energy::compute_energy(r_ideal, params, cells, 0);
+  std::printf("%-14s %10.3f J %10.3f J\n", "system energy", e_ideal.total_j(),
+              e_sudoku.total_j());
+
+  const double slowdown = (r_sudoku.total_time_ns / r_ideal.total_time_ns - 1) * 100;
+  const double edp_over = (energy::edp(e_sudoku, r_sudoku.total_time_ns) /
+                               energy::edp(e_ideal, r_ideal.total_time_ns) -
+                           1) * 100;
+  std::printf("\nSuDoku-Z overhead: %.3f%% time, %.3f%% EDP  (paper: ~0.1%%, <=0.4%%)\n",
+              slowdown, edp_over);
+
+  std::printf("\nper-core IPC (SuDoku-Z):\n");
+  for (const auto& core : r_sudoku.cores) {
+    std::printf("  %-16s ipc %.3f  (%llu LLC accesses)\n", core.benchmark.c_str(),
+                core.ipc, static_cast<unsigned long long>(core.llc_accesses));
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+#include "baselines/ecck_cache.h"
+
+namespace sudoku::baselines {
+
+EccKCache::EccKCache(std::uint64_t num_lines, int k)
+    : k_(k),
+      bch_(10, k, 512),
+      array_(num_lines, static_cast<std::uint32_t>(bch_.codeword_bits())) {}
+
+std::string EccKCache::name() const { return "ECC-" + std::to_string(k_); }
+
+void EccKCache::format_random(Rng& rng) {
+  BitVec cw(bch_.codeword_bits());
+  for (std::uint64_t line = 0; line < array_.num_lines(); ++line) {
+    cw.clear();
+    for (std::uint32_t i = 0; i < 512; ++i) {
+      if (rng.next_bool(0.5)) cw.set(i);
+    }
+    bch_.encode(cw);
+    array_.write_line(line, cw);
+  }
+}
+
+BaselineStats EccKCache::scrub_units(std::span<const std::uint64_t> units) {
+  BaselineStats stats;
+  BitVec cw(bch_.codeword_bits());
+  for (const auto line : units) {
+    array_.read_line(line, cw);
+    const auto res = bch_.decode(cw);
+    switch (res.status) {
+      case Bch::DecodeStatus::kClean:
+        break;
+      case Bch::DecodeStatus::kCorrected:
+        array_.write_line(line, cw);  // note: may be a miscorrection (SDC)
+        ++stats.corrected;
+        break;
+      case Bch::DecodeStatus::kUncorrectable:
+        ++stats.due_units;
+        stats.due_unit_ids.push_back(line);
+        break;
+    }
+  }
+  return stats;
+}
+
+void EccKCache::restore_unit(std::uint64_t unit, const BitVec& golden_stored) {
+  array_.write_line(unit, golden_stored);  // no parity state to resync
+}
+
+}  // namespace sudoku::baselines

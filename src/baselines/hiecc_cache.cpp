@@ -1,0 +1,56 @@
+#include "baselines/hiecc_cache.h"
+
+#include <cassert>
+
+namespace sudoku::baselines {
+
+HiEccCache::HiEccCache(std::uint64_t num_lines, int t)
+    : t_(t),
+      bch_(14, t, kRegionDataBits),
+      array_(num_lines / kLinesPerRegion, static_cast<std::uint32_t>(bch_.codeword_bits())) {
+  assert(num_lines % kLinesPerRegion == 0);
+}
+
+std::string HiEccCache::name() const {
+  return "Hi-ECC(ECC-" + std::to_string(t_) + "/1KB)";
+}
+
+void HiEccCache::format_random(Rng& rng) {
+  BitVec cw(bch_.codeword_bits());
+  for (std::uint64_t region = 0; region < array_.num_lines(); ++region) {
+    cw.clear();
+    for (std::uint32_t i = 0; i < kRegionDataBits; ++i) {
+      if (rng.next_bool(0.5)) cw.set(i);
+    }
+    bch_.encode(cw);
+    array_.write_line(region, cw);
+  }
+}
+
+BaselineStats HiEccCache::scrub_units(std::span<const std::uint64_t> units) {
+  BaselineStats stats;
+  BitVec cw(bch_.codeword_bits());
+  for (const auto region : units) {
+    array_.read_line(region, cw);
+    const auto res = bch_.decode(cw);
+    switch (res.status) {
+      case Bch::DecodeStatus::kClean:
+        break;
+      case Bch::DecodeStatus::kCorrected:
+        array_.write_line(region, cw);
+        ++stats.corrected;
+        break;
+      case Bch::DecodeStatus::kUncorrectable:
+        ++stats.due_units;
+        stats.due_unit_ids.push_back(region);
+        break;
+    }
+  }
+  return stats;
+}
+
+void HiEccCache::restore_unit(std::uint64_t unit, const BitVec& golden_stored) {
+  array_.write_line(unit, golden_stored);
+}
+
+}  // namespace sudoku::baselines

@@ -1,0 +1,41 @@
+// Hi-ECC baseline (paper §VIII-C, Wilkerson et al. [71]): ECC-6 at 1 KB
+// granularity. The 84 check bits (BCH over GF(2^14)) amortise to ~0.9%
+// storage, but every region now exposes 8192+ bits to the same 6-error
+// budget, which is why its FIT is orders of magnitude worse than SuDoku's
+// (Table XII). The protection unit here is a whole 1 KB region — a DUE
+// loses 16 cache lines at once.
+#pragma once
+
+#include "baselines/scheme.h"
+#include "codes/bch.h"
+
+namespace sudoku::baselines {
+
+class HiEccCache final : public CacheScheme {
+ public:
+  // `num_lines` is in 64 B cache lines; internally grouped 16-to-a-region.
+  HiEccCache(std::uint64_t num_lines, int t = 6);
+
+  std::string name() const override;
+  std::uint64_t num_units() const override { return array_.num_lines(); }
+  std::uint32_t bits_per_unit() const override { return array_.bits_per_line(); }
+  SttramArray& array() override { return array_; }
+  const SttramArray& array() const override { return array_; }
+
+  void format_random(Rng& rng) override;
+  BaselineStats scrub_units(std::span<const std::uint64_t> units) override;
+  void restore_unit(std::uint64_t unit, const BitVec& golden_stored) override;
+  double overhead_bits_per_line() const override {
+    return static_cast<double>(bch_.parity_bits()) / 16.0;  // per 64 B line
+  }
+
+  static constexpr std::uint32_t kLinesPerRegion = 16;
+  static constexpr std::uint32_t kRegionDataBits = 8192;
+
+ private:
+  int t_;
+  Bch bch_;
+  SttramArray array_;  // one "line" per 1 KB region
+};
+
+}  // namespace sudoku::baselines

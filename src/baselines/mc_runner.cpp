@@ -1,0 +1,66 @@
+#include "baselines/mc_runner.h"
+
+#include <unordered_set>
+#include <vector>
+
+#include "common/prob.h"
+#include "sttram/fault_injector.h"
+
+namespace sudoku::baselines {
+
+double BaselineMcResult::fit(double interval_s) const {
+  return p_failure_per_interval() * (kSecondsPerBillionHours / interval_s);
+}
+
+BaselineMcResult run_baseline_mc(CacheScheme& scheme, const BaselineMcConfig& config) {
+  Rng rng(config.seed);
+  scheme.format_random(rng);
+
+  // Golden snapshot for SDC detection and refills.
+  SttramArray golden(scheme.num_units(), scheme.bits_per_unit());
+  for (std::uint64_t u = 0; u < scheme.num_units(); ++u) {
+    golden.write_line(u, scheme.array().read_line(u));
+  }
+
+  FaultInjector injector(scheme.num_units(), scheme.bits_per_unit(), config.ber);
+  BaselineMcResult result;
+  std::vector<std::uint64_t> touched;
+
+  for (std::uint64_t interval = 0; interval < config.max_intervals; ++interval) {
+    const auto batch = injector.sample_interval(rng);
+    result.faults_injected += FaultInjector::count(batch);
+    FaultInjector::apply(batch, scheme.array());
+
+    touched.clear();
+    touched.reserve(batch.size());
+    for (const auto& [unit, bits] : batch) touched.push_back(unit);
+
+    const auto stats = scheme.scrub_units(touched);
+    result.corrected += stats.corrected;
+    result.due_units += stats.due_units;
+
+    bool failed = stats.due_units > 0;
+    const std::unordered_set<std::uint64_t> due(stats.due_unit_ids.begin(),
+                                                stats.due_unit_ids.end());
+    for (const auto unit : touched) {
+      if (due.count(unit)) continue;
+      if (!scheme.array().line_equals(unit, golden.read_line(unit))) {
+        ++result.sdc_units;
+        failed = true;
+        scheme.restore_unit(unit, golden.read_line(unit));
+      }
+    }
+    for (const auto unit : stats.due_unit_ids) {
+      scheme.restore_unit(unit, golden.read_line(unit));
+    }
+
+    if (failed) ++result.failure_intervals;
+    ++result.intervals;
+    if (config.target_failures != 0 && result.failure_intervals >= config.target_failures) {
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace sudoku::baselines

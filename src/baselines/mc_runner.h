@@ -1,0 +1,36 @@
+// Generic Monte-Carlo fault-injection runner for baseline schemes
+// (paper §VII-A). Mirrors reliability::run_montecarlo but drives any
+// CacheScheme: inject Binomial faults, scrub touched units, classify
+// DUE/SDC against a golden snapshot, refill lost units.
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/scheme.h"
+
+namespace sudoku::baselines {
+
+struct BaselineMcConfig {
+  double ber = 1e-4;  // per scrub interval
+  std::uint64_t max_intervals = 1000;
+  std::uint64_t target_failures = 0;  // stop early after N failing intervals
+  std::uint64_t seed = 1;
+};
+
+struct BaselineMcResult {
+  std::uint64_t intervals = 0;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t corrected = 0;
+  std::uint64_t due_units = 0;
+  std::uint64_t sdc_units = 0;
+  std::uint64_t failure_intervals = 0;
+
+  double p_failure_per_interval() const {
+    return intervals ? static_cast<double>(failure_intervals) / intervals : 0.0;
+  }
+  double fit(double interval_s) const;
+};
+
+BaselineMcResult run_baseline_mc(CacheScheme& scheme, const BaselineMcConfig& config);
+
+}  // namespace sudoku::baselines

@@ -1,0 +1,85 @@
+#include "cache/cache_model.h"
+
+#include <bit>
+#include <cassert>
+
+namespace sudoku::cache {
+
+CacheModel::CacheModel(const CacheConfig& config)
+    : config_(config), ways_(config.num_sets() * config.ways) {
+  assert(std::has_single_bit(config.num_sets()));
+  assert(std::has_single_bit(std::uint64_t{config.line_bytes}));
+  set_mask_ = config.num_sets() - 1;
+  line_shift_ = static_cast<std::uint32_t>(std::countr_zero(std::uint64_t{config.line_bytes}));
+}
+
+CacheModel::AccessResult CacheModel::access(std::uint64_t addr, bool is_write) {
+  ++stats_.accesses;
+  if (is_write) {
+    ++stats_.writes;
+  } else {
+    ++stats_.reads;
+  }
+
+  const std::uint64_t set = set_of(addr);
+  const std::uint64_t tag = tag_of(addr);
+  Way* base = &ways_[set * config_.ways];
+
+  AccessResult result;
+  result.bank = bank_of(addr);
+
+  // Hit path.
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) {
+      base[w].lru = ++stamp_;
+      base[w].dirty = base[w].dirty || is_write;
+      ++stats_.hits;
+      result.hit = true;
+      result.line_index = set * config_.ways + w;
+      return result;
+    }
+  }
+
+  // Miss: pick invalid way or LRU victim.
+  ++stats_.misses;
+  std::uint32_t victim = 0;
+  bool found_invalid = false;
+  std::uint64_t oldest = UINT64_MAX;
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    if (!base[w].valid) {
+      victim = w;
+      found_invalid = true;
+      break;
+    }
+    if (base[w].lru < oldest) {
+      oldest = base[w].lru;
+      victim = w;
+    }
+  }
+  if (!found_invalid && base[victim].valid) {
+    ++stats_.evictions;
+    if (base[victim].dirty) {
+      ++stats_.writebacks;
+      result.writeback = true;
+      result.victim_addr = base[victim].tag << line_shift_;
+    }
+  }
+  base[victim].tag = tag;
+  base[victim].valid = true;
+  base[victim].dirty = is_write;
+  base[victim].lru = ++stamp_;
+  result.line_index = set * config_.ways + victim;
+  return result;
+}
+
+bool CacheModel::contains(std::uint64_t addr) const {
+  const std::uint64_t set = set_of(addr);
+  const std::uint64_t tag = tag_of(addr);
+  const Way* base = &ways_[set * config_.ways];
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) return true;
+  }
+  return false;
+}
+
+}  // namespace sudoku::cache

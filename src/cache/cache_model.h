@@ -1,0 +1,88 @@
+// Set-associative last-level-cache model (the paper's "STTRAM cache module
+// (a clone of CMP$im)", §VII-A). Tracks tags, LRU state, dirtiness, and the
+// statistics the timing and energy models consume. The data payload itself
+// lives in the resilience layer (SttramArray) when fault injection is
+// active; this model supplies the geometry mapping from addresses to
+// physical line indices (set × ways + way), which is what ties cache
+// residency to RAID-Group membership.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sudoku::cache {
+
+struct CacheConfig {
+  std::uint64_t size_bytes = 64ull << 20;  // 64 MB shared LLC (Table VI)
+  std::uint32_t ways = 8;
+  std::uint32_t line_bytes = 64;
+  std::uint32_t banks = 16;
+
+  std::uint64_t num_lines() const { return size_bytes / line_bytes; }
+  std::uint64_t num_sets() const { return num_lines() / ways; }
+};
+
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t writebacks = 0;  // dirty evictions
+
+  double hit_rate() const {
+    return accesses ? static_cast<double>(hits) / accesses : 0.0;
+  }
+};
+
+class CacheModel {
+ public:
+  explicit CacheModel(const CacheConfig& config);
+
+  const CacheConfig& config() const { return config_; }
+  const CacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = CacheStats{}; }
+
+  struct AccessResult {
+    bool hit = false;
+    bool writeback = false;         // a dirty victim was evicted
+    std::uint64_t line_index = 0;   // physical line (set*ways + way) used
+    std::uint64_t victim_addr = 0;  // address of the evicted block (if any)
+    std::uint32_t bank = 0;
+  };
+
+  // Write-back, write-allocate access. `addr` is a byte address.
+  AccessResult access(std::uint64_t addr, bool is_write);
+
+  // Probe without side effects.
+  bool contains(std::uint64_t addr) const;
+
+  std::uint32_t bank_of(std::uint64_t addr) const {
+    return static_cast<std::uint32_t>((addr / config_.line_bytes) % config_.banks);
+  }
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;  // global stamp; larger = more recent
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  CacheConfig config_;
+  CacheStats stats_;
+  std::vector<Way> ways_;  // sets * ways, row-major by set
+  std::uint64_t stamp_ = 0;
+  std::uint64_t set_mask_;
+  std::uint32_t line_shift_;
+
+  std::uint64_t set_of(std::uint64_t addr) const {
+    return (addr >> line_shift_) & set_mask_;
+  }
+  std::uint64_t tag_of(std::uint64_t addr) const {
+    return addr >> line_shift_;  // full block address as tag (simple, exact)
+  }
+};
+
+}  // namespace sudoku::cache

@@ -1,0 +1,169 @@
+#include "codes/bch.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace sudoku {
+
+namespace {
+
+// Multiply polynomial (coeffs in GF(2^m), index = degree) by (x + root).
+void mul_by_linear(std::vector<std::uint32_t>& poly, std::uint32_t root, const GF2m& f) {
+  poly.push_back(0);
+  for (std::size_t d = poly.size() - 1; d > 0; --d) {
+    poly[d] = f.add(poly[d - 1], f.mul(poly[d], root));
+  }
+  poly[0] = f.mul(poly[0], root);
+}
+
+}  // namespace
+
+Bch::Bch(int m, int t, std::size_t message_bits)
+    : m_(m), t_(t), k_(message_bits), field_(m) {
+  assert(t >= 1);
+  // Generator = product of distinct minimal polynomials of alpha^1..alpha^2t.
+  // Build via cyclotomic cosets mod 2^m - 1.
+  const std::uint32_t order = field_.order();
+  std::set<std::uint32_t> covered;
+  std::vector<std::uint32_t> g = {1};  // polynomial "1" over GF(2^m)
+  for (std::uint32_t i = 1; i <= static_cast<std::uint32_t>(2 * t); ++i) {
+    if (covered.count(i % order)) continue;
+    // Cyclotomic coset of i: {i, 2i, 4i, ...} mod order.
+    std::uint32_t j = i % order;
+    do {
+      covered.insert(j);
+      mul_by_linear(g, field_.alpha_pow(j), field_);
+      j = static_cast<std::uint32_t>((2ull * j) % order);
+    } while (j != i % order);
+  }
+  // Coefficients of g must be in GF(2).
+  gen_.resize(g.size());
+  for (std::size_t d = 0; d < g.size(); ++d) {
+    assert(g[d] == 0 || g[d] == 1);
+    gen_[d] = static_cast<std::uint8_t>(g[d]);
+  }
+  r_ = gen_.size() - 1;
+  n_ = k_ + r_;
+  assert(n_ <= order);  // shortened code must fit the natural length
+}
+
+void Bch::encode(BitVec& codeword) const {
+  assert(codeword.size() == n_);
+  // Systematic encoding: parity = message(x) · x^r mod g(x).
+  // LFSR division, message processed MSB-first (index 0 = highest degree).
+  std::vector<std::uint8_t> rem(r_, 0);
+  for (std::size_t i = 0; i < k_; ++i) {
+    const std::uint8_t fold = static_cast<std::uint8_t>(
+        (codeword.test(i) ? 1u : 0u) ^ (r_ > 0 ? rem[r_ - 1] : 0u));
+    // Shift remainder up by one degree.
+    for (std::size_t d = r_ - 1; d > 0; --d) rem[d] = rem[d - 1];
+    rem[0] = 0;
+    if (fold) {
+      for (std::size_t d = 0; d < r_; ++d) rem[d] ^= gen_[d];
+    }
+  }
+  // Parity bits stored MSB-first after the message: index k_+j holds the
+  // coefficient of x^(r-1-j).
+  for (std::size_t j = 0; j < r_; ++j) {
+    codeword.assign(k_ + j, rem[r_ - 1 - j] != 0);
+  }
+}
+
+std::vector<std::uint32_t> Bch::syndromes(const BitVec& codeword) const {
+  // S_j = r(alpha^j), j = 1..2t, with bit i the coefficient of x^(n-1-i).
+  // Horner: S = S*alpha^j + bit, walking i ascending.
+  std::vector<std::uint32_t> s(2 * t_, 0);
+  for (int j = 1; j <= 2 * t_; ++j) {
+    const std::uint32_t aj = field_.alpha_pow(static_cast<std::uint64_t>(j));
+    std::uint32_t acc = 0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      acc = field_.mul(acc, aj);
+      if (codeword.test(i)) acc ^= 1u;
+    }
+    s[j - 1] = acc;
+  }
+  return s;
+}
+
+Bch::DecodeResult Bch::decode(BitVec& codeword) const {
+  assert(codeword.size() == n_);
+  const auto s = syndromes(codeword);
+  if (std::all_of(s.begin(), s.end(), [](std::uint32_t v) { return v == 0; })) {
+    return {DecodeStatus::kClean, 0};
+  }
+
+  // Berlekamp–Massey: find the shortest LFSR (error locator Lambda) that
+  // generates the syndrome sequence.
+  std::vector<std::uint32_t> lambda = {1};
+  std::vector<std::uint32_t> b = {1};
+  int L = 0;
+  int m = 1;
+  std::uint32_t bdisc = 1;
+  for (int nIdx = 0; nIdx < 2 * t_; ++nIdx) {
+    // Discrepancy d = S_n + sum lambda_i * S_{n-i}.
+    std::uint32_t d = s[nIdx];
+    for (int i = 1; i <= L && i < static_cast<int>(lambda.size()); ++i) {
+      d ^= field_.mul(lambda[i], s[nIdx - i]);
+    }
+    if (d == 0) {
+      ++m;
+      continue;
+    }
+    if (2 * L <= nIdx) {
+      auto tpoly = lambda;
+      // lambda = lambda - (d / bdisc) x^m b
+      const std::uint32_t coef = field_.div(d, bdisc);
+      if (lambda.size() < b.size() + m) lambda.resize(b.size() + m, 0);
+      for (std::size_t i = 0; i < b.size(); ++i) {
+        lambda[i + m] ^= field_.mul(coef, b[i]);
+      }
+      L = nIdx + 1 - L;
+      b = std::move(tpoly);
+      bdisc = d;
+      m = 1;
+    } else {
+      const std::uint32_t coef = field_.div(d, bdisc);
+      if (lambda.size() < b.size() + m) lambda.resize(b.size() + m, 0);
+      for (std::size_t i = 0; i < b.size(); ++i) {
+        lambda[i + m] ^= field_.mul(coef, b[i]);
+      }
+      ++m;
+    }
+  }
+  while (!lambda.empty() && lambda.back() == 0) lambda.pop_back();
+  const int deg = static_cast<int>(lambda.size()) - 1;
+  if (deg <= 0 || deg > t_) {
+    return {DecodeStatus::kUncorrectable, 0};
+  }
+
+  // Chien search over the shortened positions. Bit index i corresponds to
+  // polynomial degree n-1-i; a root Lambda(alpha^{-deg}) == 0 marks degree
+  // `deg` as faulty.
+  std::vector<std::size_t> error_idx;
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::uint64_t d_pos = n_ - 1 - i;
+    // x = alpha^{-d_pos}
+    const std::uint32_t x =
+        field_.alpha_pow((field_.order() - d_pos % field_.order()) % field_.order());
+    std::uint32_t acc = 0;
+    std::uint32_t xp = 1;
+    for (const auto c : lambda) {
+      acc ^= field_.mul(c, xp);
+      xp = field_.mul(xp, x);
+    }
+    if (acc == 0) {
+      error_idx.push_back(i);
+      if (static_cast<int>(error_idx.size()) > deg) break;
+    }
+  }
+  if (static_cast<int>(error_idx.size()) != deg) {
+    // Locator roots outside the shortened range, or wrong multiplicity:
+    // the pattern exceeded the code's correction power and was detected.
+    return {DecodeStatus::kUncorrectable, 0};
+  }
+  for (const auto i : error_idx) codeword.flip(i);
+  return {DecodeStatus::kCorrected, deg};
+}
+
+}  // namespace sudoku

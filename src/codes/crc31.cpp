@@ -1,0 +1,66 @@
+#include "codes/crc31.h"
+
+#include <cassert>
+
+#include "codes/gf2poly.h"
+
+namespace sudoku {
+
+std::uint64_t Crc31::canonical_generator() {
+  // (x+1) * (smallest primitive polynomial of degree 30). Computed once;
+  // the search is a few milliseconds. Verified primitive in tests.
+  static const std::uint64_t g = [] {
+    const std::uint64_t p30 = gf2::find_primitive(30);
+    return gf2::mul(p30, 0b11);  // multiply by (x + 1)
+  }();
+  return g;
+}
+
+Crc31::Crc31() : poly_(canonical_generator()) { build_table(); }
+
+Crc31::Crc31(std::uint64_t generator) : poly_(generator) {
+  assert(gf2::degree(generator) == kBits);
+  build_table();
+}
+
+void Crc31::build_table() {
+  // MSB-first table over the low 31 bits of the generator, operating in a
+  // 32-bit register whose top bit (bit 31) is the "about to shift out" slot.
+  const std::uint32_t low = static_cast<std::uint32_t>(poly_ & 0x7FFFFFFFu);
+  for (std::uint32_t byte = 0; byte < 256; ++byte) {
+    // Place the byte at the top of the 31-bit register.
+    std::uint32_t reg = byte << 23;
+    for (int i = 0; i < 8; ++i) {
+      const bool top = (reg >> 30) & 1u;
+      reg = (reg << 1) & 0x7FFFFFFFu;
+      if (top) reg ^= low;
+    }
+    table_[byte] = reg;
+  }
+}
+
+std::uint32_t Crc31::compute(const BitVec& bits, std::size_t nbits) const {
+  assert(nbits <= bits.size());
+  std::uint32_t reg = 0;
+  std::size_t i = 0;
+  // Bulk: process whole bytes through the table.
+  const std::size_t whole_bytes = nbits / 8;
+  for (std::size_t b = 0; b < whole_bytes; ++b) {
+    std::uint32_t byte = 0;
+    for (int k = 0; k < 8; ++k) byte = (byte << 1) | (bits.test(i + k) ? 1u : 0u);
+    reg = ((reg << 8) & 0x7FFFFFFFu) ^ table_[((reg >> 23) ^ byte) & 0xFFu];
+    i += 8;
+  }
+  // Tail bits, bit-serial (non-augmented MSB-first, same recurrence the
+  // byte table implements: fold the message bit into the top of the
+  // register before shifting).
+  const std::uint32_t low = static_cast<std::uint32_t>(poly_ & 0x7FFFFFFFu);
+  for (; i < nbits; ++i) {
+    const bool fold = (((reg >> 30) & 1u) ^ (bits.test(i) ? 1u : 0u)) != 0;
+    reg = (reg << 1) & 0x7FFFFFFFu;
+    if (fold) reg ^= low;
+  }
+  return reg;
+}
+
+}  // namespace sudoku

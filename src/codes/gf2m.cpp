@@ -1,0 +1,49 @@
+#include "codes/gf2m.h"
+
+#include <cassert>
+
+namespace sudoku {
+
+namespace {
+// Standard primitive polynomials (full form including x^m term).
+std::uint32_t default_prim_poly(int m) {
+  switch (m) {
+    case 3:  return 0b1011;               // x^3 + x + 1
+    case 4:  return 0b10011;              // x^4 + x + 1
+    case 5:  return 0b100101;             // x^5 + x^2 + 1
+    case 6:  return 0b1000011;            // x^6 + x + 1
+    case 7:  return 0b10001001;           // x^7 + x^3 + 1
+    case 8:  return 0b100011101;          // x^8 + x^4 + x^3 + x^2 + 1
+    case 9:  return 0b1000010001;         // x^9 + x^4 + 1
+    case 10: return 0b10000001001;        // x^10 + x^3 + 1
+    case 11: return 0b100000000101;       // x^11 + x^2 + 1
+    case 12: return 0b1000001010011;      // x^12 + x^6 + x^4 + x + 1
+    case 13: return 0b10000000011011;     // x^13 + x^4 + x^3 + x + 1
+    case 14: return 0b100010001000011;    // x^14 + x^10 + x^6 + x + 1
+    case 15: return 0b1000000000000011;   // x^15 + x + 1
+    case 16: return 0b10001000000001011;  // x^16 + x^12 + x^3 + x + 1
+    default: return 0;
+  }
+}
+}  // namespace
+
+GF2m::GF2m(int m, std::uint32_t prim_poly) : m_(m), q_(1u << m) {
+  assert(m >= 3 && m <= 16);
+  if (prim_poly == 0) prim_poly = default_prim_poly(m);
+  assert(prim_poly != 0);
+
+  log_.assign(q_, 0);
+  alog_.assign(q_, 0);
+  std::uint32_t x = 1;
+  for (std::uint32_t i = 0; i < order(); ++i) {
+    alog_[i] = x;
+    log_[x] = i;
+    x <<= 1;
+    if (x & q_) x ^= prim_poly;
+  }
+  // Sanity: alpha must have full order (prim_poly primitive).
+  assert(x == 1);
+  alog_[order()] = 1;  // convenience wraparound
+}
+
+}  // namespace sudoku

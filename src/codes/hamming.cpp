@@ -1,0 +1,79 @@
+#include "codes/hamming.h"
+
+#include <bit>
+#include <cassert>
+
+namespace sudoku {
+
+namespace {
+constexpr bool is_pow2(std::uint32_t x) { return x != 0 && (x & (x - 1)) == 0; }
+}  // namespace
+
+Hamming::Hamming(std::size_t message_bits) : k_(message_bits) {
+  // Smallest r with 2^r >= k + r + 1.
+  std::size_t r = 1;
+  while ((std::size_t{1} << r) < k_ + r + 1) ++r;
+  r_ = r;
+  n_ = k_ + r_;
+
+  index_to_pos_.assign(n_, 0);
+  pos_to_index_plus1_.assign(n_ + 1, 0);
+
+  // Message bits occupy non-power-of-two positions in ascending order;
+  // check bits occupy positions 1, 2, 4, ... in ascending order, stored
+  // after the message in index space.
+  std::uint32_t pos = 1;
+  for (std::size_t idx = 0; idx < k_; ++idx) {
+    while (is_pow2(pos)) ++pos;
+    index_to_pos_[idx] = pos;
+    pos_to_index_plus1_[pos] = static_cast<std::uint32_t>(idx + 1);
+    ++pos;
+  }
+  for (std::size_t j = 0; j < r_; ++j) {
+    const std::uint32_t p = std::uint32_t{1} << j;
+    assert(p <= n_);
+    index_to_pos_[k_ + j] = p;
+    pos_to_index_plus1_[p] = static_cast<std::uint32_t>(k_ + j + 1);
+  }
+}
+
+void Hamming::encode(BitVec& codeword) const {
+  assert(codeword.size() == n_);
+  // Zero check bits, then set each so that the syndrome becomes zero.
+  for (std::size_t j = 0; j < r_; ++j) codeword.reset(k_ + j);
+  std::uint32_t syn = 0;
+  for (std::size_t idx = 0; idx < k_; ++idx) {
+    if (codeword.test(idx)) syn ^= index_to_pos_[idx];
+  }
+  for (std::size_t j = 0; j < r_; ++j) {
+    if ((syn >> j) & 1u) codeword.set(k_ + j);
+  }
+}
+
+std::uint32_t Hamming::syndrome(const BitVec& codeword) const {
+  assert(codeword.size() == n_);
+  std::uint32_t syn = 0;
+  // Walk words and accumulate positions of set bits.
+  const auto words = codeword.words();
+  for (std::size_t wi = 0; wi < words.size(); ++wi) {
+    std::uint64_t w = words[wi];
+    while (w != 0) {
+      const std::size_t idx = wi * 64 + static_cast<std::size_t>(std::countr_zero(w));
+      syn ^= index_to_pos_[idx];
+      w &= w - 1;
+    }
+  }
+  return syn;
+}
+
+Hamming::DecodeStatus Hamming::decode(BitVec& codeword) const {
+  const std::uint32_t syn = syndrome(codeword);
+  if (syn == 0) return DecodeStatus::kClean;
+  if (syn <= n_ && pos_to_index_plus1_[syn] != 0) {
+    codeword.flip(pos_to_index_plus1_[syn] - 1);
+    return DecodeStatus::kCorrected;
+  }
+  return DecodeStatus::kUncorrectable;
+}
+
+}  // namespace sudoku

@@ -1,0 +1,59 @@
+// Single-error-correcting Hamming code (ECC-1, paper §I/§III). For SuDoku's
+// line layout the message is 543 bits (512 data + 31 CRC) and the code adds
+// 10 check bits — exactly the "10 bits per line" the paper budgets for
+// ECC-1 — giving a 553-bit stored codeword.
+//
+// Classic positional construction: codeword positions 1..n, check bits at
+// power-of-two positions, syndrome = XOR of the positions of all set bits.
+// A zero syndrome means "consistent"; a syndrome that names a valid
+// position is corrected by flipping that bit (which miscorrects when more
+// than one bit is faulty — the behaviour SuDoku's CRC re-check is designed
+// to catch); a syndrome beyond the codeword length is reported as
+// uncorrectable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.h"
+
+namespace sudoku {
+
+class Hamming {
+ public:
+  // `message_bits` is the number of protected bits (data + CRC).
+  explicit Hamming(std::size_t message_bits);
+
+  std::size_t message_bits() const { return k_; }
+  std::size_t check_bits() const { return r_; }
+  std::size_t codeword_bits() const { return n_; }
+
+  // Compute check bits for a message laid out in codeword[0..k). The
+  // codeword layout is [message | check bits]; this fills the check bits
+  // in place. `codeword` must be codeword_bits() long.
+  void encode(BitVec& codeword) const;
+
+  // Syndrome of a (possibly corrupted) codeword. 0 = consistent.
+  std::uint32_t syndrome(const BitVec& codeword) const;
+
+  enum class DecodeStatus {
+    kClean,          // syndrome 0, nothing done
+    kCorrected,      // one bit flipped (correct iff exactly one fault)
+    kUncorrectable,  // syndrome names no valid position
+  };
+
+  // Attempt single-error correction in place.
+  DecodeStatus decode(BitVec& codeword) const;
+
+ private:
+  std::size_t k_;  // message bits
+  std::size_t r_;  // check bits
+  std::size_t n_;  // k + r
+
+  // index (0-based, message-first layout) -> Hamming position (1-based)
+  std::vector<std::uint32_t> index_to_pos_;
+  // Hamming position -> index + 1 (0 = invalid position)
+  std::vector<std::uint32_t> pos_to_index_plus1_;
+};
+
+}  // namespace sudoku

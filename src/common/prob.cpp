@@ -1,0 +1,123 @@
+#include "common/prob.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace sudoku {
+
+double log_factorial(double n) { return std::lgamma(n + 1.0); }
+
+double log_binom_coeff(double n, double k) {
+  assert(k >= 0.0 && k <= n);
+  return log_factorial(n) - log_factorial(k) - log_factorial(n - k);
+}
+
+double log_binom_pmf(double n, double k, double p) {
+  if (p <= 0.0) return k == 0.0 ? 0.0 : -std::numeric_limits<double>::infinity();
+  if (p >= 1.0) return k == n ? 0.0 : -std::numeric_limits<double>::infinity();
+  return log_binom_coeff(n, k) + k * std::log(p) + (n - k) * std::log1p(-p);
+}
+
+double log_sum(double la, double lb) {
+  if (la == -std::numeric_limits<double>::infinity()) return lb;
+  if (lb == -std::numeric_limits<double>::infinity()) return la;
+  if (la < lb) std::swap(la, lb);
+  return la + std::log1p(std::exp(lb - la));
+}
+
+double log_one_minus_exp(double la) {
+  assert(la <= 0.0);
+  if (la == 0.0) return -std::numeric_limits<double>::infinity();
+  if (la < -1.0) return std::log1p(-std::exp(la));
+  return std::log(-std::expm1(la));
+}
+
+double log_binom_tail_ge(double n, double k, double p) {
+  if (k <= 0.0) return 0.0;  // P >= 0 events is 1
+  if (k > n) return -std::numeric_limits<double>::infinity();
+  // In our regime n·p is far below k, so the pmf decays geometrically with
+  // ratio roughly (n-k)p/((k+1)(1-p)); sum terms until they stop mattering.
+  double total = -std::numeric_limits<double>::infinity();
+  double prev = -std::numeric_limits<double>::infinity();
+  for (double j = k; j <= n; j += 1.0) {
+    const double term = log_binom_pmf(n, j, p);
+    total = log_sum(total, term);
+    if (term < total - 40.0 && term < prev) break;  // converged
+    prev = term;
+  }
+  return total;
+}
+
+double log_any_of_n(double lp, double n) {
+  // log(1 - (1-p)^n) where log p = lp.
+  if (lp == -std::numeric_limits<double>::infinity()) return lp;
+  const double p = std::exp(lp);
+  double log_one_minus_p;
+  if (p < 1e-8) {
+    // log(1-p) ≈ -p - p^2/2; -p dominates.
+    log_one_minus_p = -p - 0.5 * p * p;
+  } else {
+    log_one_minus_p = std::log1p(-p);
+  }
+  const double la = n * log_one_minus_p;  // log (1-p)^n, <= 0
+  if (la == 0.0) {
+    // Entirely below double resolution: 1-(1-p)^n ≈ n·p.
+    return std::log(n) + lp;
+  }
+  return log_one_minus_exp(la);
+}
+
+GaussHermite::GaussHermite(int order) {
+  // Newton iteration on physicists' Hermite polynomials (Numerical Recipes
+  // "gauher"), then rescale so that E[f(Z)] for Z ~ N(0,1) is
+  // Σ weights[i] * f(nodes[i]).
+  const int n = order;
+  nodes.resize(n);
+  weights.resize(n);
+  const double pim4 = 0.7511255444649425;  // pi^{-1/4}
+  double z = 0.0;
+  for (int i = 0; i < (n + 1) / 2; ++i) {
+    if (i == 0) {
+      z = std::sqrt(2.0 * n + 1.0) - 1.85575 * std::pow(2.0 * n + 1.0, -0.16667);
+    } else if (i == 1) {
+      z -= 1.14 * std::pow(n, 0.426) / z;
+    } else if (i == 2) {
+      z = 1.86 * z - 0.86 * nodes[0];
+    } else if (i == 3) {
+      z = 1.91 * z - 0.91 * nodes[1];
+    } else {
+      z = 2.0 * z - nodes[i - 2];
+    }
+    double pp = 0.0;
+    for (int iter = 0; iter < 100; ++iter) {
+      double p1 = pim4;
+      double p2 = 0.0;
+      for (int j = 0; j < n; ++j) {
+        const double p3 = p2;
+        p2 = p1;
+        p1 = z * std::sqrt(2.0 / (j + 1)) * p2 - std::sqrt(static_cast<double>(j) / (j + 1)) * p3;
+      }
+      pp = std::sqrt(2.0 * n) * p2;
+      const double z1 = z;
+      z = z1 - p1 / pp;
+      if (std::abs(z - z1) <= 3e-14) break;
+    }
+    nodes[i] = z;
+    nodes[n - 1 - i] = -z;
+    weights[i] = 2.0 / (pp * pp);
+    weights[n - 1 - i] = weights[i];
+  }
+  // Physicists' -> probabilists': x_prob = sqrt(2)·x, w_prob = w / sqrt(pi).
+  const double inv_sqrt_pi = 0.5641895835477563;
+  double wsum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    nodes[i] *= 1.4142135623730951;
+    weights[i] *= inv_sqrt_pi;
+    wsum += weights[i];
+  }
+  // Normalize residual numerical drift so the weights sum to exactly 1.
+  for (auto& w : weights) w /= wsum;
+}
+
+}  // namespace sudoku

@@ -1,0 +1,62 @@
+// Log-domain probability arithmetic for the analytical reliability models.
+// The quantities involved (e.g. P[7 faults in a 543-bit line] at
+// BER 5.3e-6) underflow double precision when computed naively, so every
+// model works with natural-log probabilities and converts at the edges.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sudoku {
+
+// log(n!) via lgamma.
+double log_factorial(double n);
+
+// log C(n, k); requires 0 <= k <= n.
+double log_binom_coeff(double n, double k);
+
+// log( C(n,k) p^k (1-p)^(n-k) ) — binomial pmf in log domain.
+// Handles p == 0 / p == 1 edge cases.
+double log_binom_pmf(double n, double k, double p);
+
+// log P[Binomial(n, p) == k].
+inline double log_prob_exactly_k(double n, double k, double p) {
+  return log_binom_pmf(n, k, p);
+}
+
+// log P[Binomial(n, p) >= k]. Sums the (rapidly decaying, since n·p << k in
+// our regime) upper tail until terms are negligible.
+double log_binom_tail_ge(double n, double k, double p);
+
+// log(a + b) given log a, log b.
+double log_sum(double la, double lb);
+
+// log(1 - exp(la)) for la <= 0.
+double log_one_minus_exp(double la);
+
+// P[at least one of n independent events, each with log-prob lp] in log
+// domain: log(1 - (1 - p)^n). Stable for tiny p and huge n.
+double log_any_of_n(double lp, double n);
+
+// Gauss-Hermite quadrature nodes/weights for integrating f against a
+// standard normal: E[f(Z)] ≈ Σ w_i f(x_i). `order` up to 64.
+struct GaussHermite {
+  std::vector<double> nodes;    // already scaled: integrate f(node) * weight
+  std::vector<double> weights;  // weights sum to 1
+  explicit GaussHermite(int order);
+};
+
+constexpr double kSecondsPerBillionHours = 1e9 * 3600.0;
+
+// FIT rate (failures per 1e9 device-hours) given the per-interval failure
+// probability and the interval length in seconds.
+inline double fit_from_interval_prob(double p_interval, double interval_s) {
+  return p_interval * (kSecondsPerBillionHours / interval_s);
+}
+
+// MTTF in seconds given per-interval failure probability.
+inline double mttf_seconds(double p_interval, double interval_s) {
+  return p_interval > 0 ? interval_s / p_interval : 1e300;
+}
+
+}  // namespace sudoku

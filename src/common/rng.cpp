@@ -1,0 +1,52 @@
+#include "common/rng.h"
+
+#include <algorithm>
+
+namespace sudoku {
+
+std::uint64_t Rng::next_binomial(std::uint64_t n, double p) {
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  const double mean = static_cast<double>(n) * p;
+  if (mean <= 64.0) {
+    // For the small-mean regime a Binomial with tiny p is indistinguishable
+    // from Poisson(mean); use Poisson inversion and clamp to n.
+    if (p < 1e-4) return std::min<std::uint64_t>(n, next_poisson(mean));
+    // Exact inversion on the binomial CDF.
+    double u = next_double();
+    const double q = 1.0 - p;
+    double prob = std::pow(q, static_cast<double>(n));  // P[X=0]
+    std::uint64_t k = 0;
+    double cdf = prob;
+    while (u > cdf && k < n) {
+      ++k;
+      prob *= (static_cast<double>(n - k + 1) / static_cast<double>(k)) * (p / q);
+      cdf += prob;
+    }
+    return k;
+  }
+  // Normal approximation with continuity correction.
+  const double sd = std::sqrt(mean * (1.0 - p));
+  const double x = mean + sd * next_gaussian() + 0.5;
+  if (x < 0.0) return 0;
+  if (x > static_cast<double>(n)) return n;
+  return static_cast<std::uint64_t>(x);
+}
+
+std::uint64_t Rng::next_poisson(double mean) {
+  if (mean <= 0.0) return 0;
+  if (mean < 64.0) {
+    const double limit = std::exp(-mean);
+    double prod = next_double();
+    std::uint64_t k = 0;
+    while (prod > limit) {
+      ++k;
+      prod *= next_double();
+    }
+    return k;
+  }
+  const double x = mean + std::sqrt(mean) * next_gaussian() + 0.5;
+  return x < 0.0 ? 0 : static_cast<std::uint64_t>(x);
+}
+
+}  // namespace sudoku

@@ -1,0 +1,101 @@
+// Deterministic, fast PRNG (xoshiro256**) with the distribution helpers the
+// fault injector and workload generators need. Seeded explicitly everywhere
+// so that every experiment is reproducible from its command line.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <limits>
+
+namespace sudoku {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 to expand the seed into the four state words.
+    auto next = [&seed]() {
+      seed += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      return z ^ (z >> 31);
+    };
+    for (auto& w : s_) w = next();
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound) {
+    __uint128_t m = static_cast<__uint128_t>(next_u64()) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(next_u64()) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  bool next_bool(double p) { return next_double() < p; }
+
+  // Standard normal via Box-Muller (cached second value).
+  double next_gaussian() {
+    if (have_cached_) {
+      have_cached_ = false;
+      return cached_;
+    }
+    double u1 = next_double();
+    while (u1 <= 0.0) u1 = next_double();
+    const double u2 = next_double();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_ = r * std::sin(theta);
+    have_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  // Binomial(n, p) sample. Exact inversion for small means, normal
+  // approximation with continuity correction for large ones (n·p > 64) —
+  // the fault injector draws counts over ~5e8 bits where exact sampling
+  // would be far too slow and the approximation error is negligible.
+  std::uint64_t next_binomial(std::uint64_t n, double p);
+
+  // Poisson(mean) via inversion (small mean) or normal approximation.
+  std::uint64_t next_poisson(double mean);
+
+  // Exponential with the given rate (events per unit time).
+  double next_exponential(double rate) {
+    double u = next_double();
+    while (u <= 0.0) u = next_double();
+    return -std::log(u) / rate;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4] = {};
+  bool have_cached_ = false;
+  double cached_ = 0.0;
+};
+
+}  // namespace sudoku

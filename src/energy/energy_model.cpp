@@ -1,0 +1,28 @@
+#include "energy/energy_model.h"
+
+namespace sudoku::energy {
+
+EnergyBreakdown compute_energy(const sim::SimResult& result, const EnergyParams& params,
+                               std::uint64_t sttram_cells, std::uint64_t plt_sram_cells) {
+  EnergyBreakdown e;
+  const double seconds = result.total_time_ns * 1e-9;
+
+  e.llc_dynamic_j = (static_cast<double>(result.llc_reads) * params.sttram_read_nj +
+                     static_cast<double>(result.llc_writes) * params.sttram_write_nj) *
+                    1e-9;
+  // PLT is SRAM: a parity update is a read-modify-write (charge both).
+  e.plt_dynamic_j = static_cast<double>(result.plt_writes) *
+                    (params.sram_read_nj + params.sram_write_nj) * 1e-9;
+  e.codec_j = static_cast<double>(result.codec_events) * params.codec_pj * 1e-12;
+  // Scrub reads every line per interval (reads already counted separately
+  // from demand traffic in SimResult::scrub_reads).
+  e.scrub_j = static_cast<double>(result.scrub_reads) * params.sttram_read_nj * 1e-9;
+  e.dram_j = static_cast<double>(result.dram_accesses) * params.dram_access_nj * 1e-9;
+  e.static_j = (static_cast<double>(sttram_cells) * params.sttram_static_nw_per_cell +
+                static_cast<double>(plt_sram_cells) * params.sram_static_nw_per_cell) *
+               1e-9 * seconds;
+  e.core_j = params.core_power_w_per_core * params.num_cores * seconds;
+  return e;
+}
+
+}  // namespace sudoku::energy

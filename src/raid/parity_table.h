@@ -1,0 +1,45 @@
+// Parity Line Table (PLT, paper §III-A). One parity line per RAID-Group,
+// covering the full stored codeword (data + CRC + ECC bits) of every member
+// line, so that parity mismatches locate faulty bits anywhere in a stored
+// line. The PLT is held in SRAM beside the STTRAM array (128 KB per table
+// for a 64 MB cache) and is modelled as fault-free; writes update it with
+// the XOR delta of the modified line.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bitvec.h"
+#include "sttram/array.h"
+
+namespace sudoku {
+
+class ParityTable {
+ public:
+  ParityTable(std::uint64_t num_groups, std::uint32_t bits_per_line)
+      : table_(num_groups, bits_per_line) {}
+
+  std::uint64_t num_groups() const { return table_.num_lines(); }
+  std::uint32_t bits_per_line() const { return table_.bits_per_line(); }
+
+  BitVec read(std::uint64_t group) const { return table_.read_line(group); }
+  void read(std::uint64_t group, BitVec& out) const { table_.read_line(group, out); }
+  void write(std::uint64_t group, const BitVec& parity) { table_.write_line(group, parity); }
+
+  // parity ^= delta (read-modify-write on a host write: delta = old ^ new).
+  void apply_delta(std::uint64_t group, const BitVec& delta) {
+    BitVec p = table_.read_line(group);
+    p ^= delta;
+    table_.write_line(group, p);
+  }
+
+  // XOR the stored parity into an accumulator (mismatch computation).
+  void xor_into(std::uint64_t group, BitVec& acc) const { table_.xor_line_into(group, acc); }
+
+  // Storage cost in bits (paper §VII-H: 128 KB per PLT at 64 MB / G=512).
+  std::uint64_t storage_bits() const { return num_groups() * bits_per_line(); }
+
+ private:
+  SttramArray table_;  // reused as a flat line store; contents live in SRAM
+};
+
+}  // namespace sudoku

@@ -1,0 +1,96 @@
+#include "raid/raid6.h"
+
+#include <cassert>
+
+namespace sudoku {
+
+Raid6::Raid6(std::uint32_t group_size, std::uint32_t bits_per_line)
+    : group_size_(group_size),
+      bits_per_line_(bits_per_line),
+      field_(group_size <= 255 ? 8 : 16) {
+  const std::uint32_t m = static_cast<std::uint32_t>(field_.m());
+  symbols_per_line_ = (bits_per_line_ + m - 1) / m;
+  assert(group_size_ <= field_.order());  // distinct nonzero weights per slot
+}
+
+std::uint32_t Raid6::symbol(const BitVec& v, std::uint32_t s) const {
+  const std::uint32_t m = static_cast<std::uint32_t>(field_.m());
+  std::uint32_t val = 0;
+  const std::uint32_t base = s * m;
+  for (std::uint32_t b = 0; b < m; ++b) {
+    const std::uint32_t idx = base + b;
+    if (idx < v.size() && v.test(idx)) val |= 1u << b;
+  }
+  return val;
+}
+
+void Raid6::set_symbol(BitVec& v, std::uint32_t s, std::uint32_t val) const {
+  const std::uint32_t m = static_cast<std::uint32_t>(field_.m());
+  const std::uint32_t base = s * m;
+  for (std::uint32_t b = 0; b < m; ++b) {
+    const std::uint32_t idx = base + b;
+    if (idx < v.size()) v.assign(idx, (val >> b) & 1u);
+  }
+}
+
+void Raid6::scaled_xor(const BitVec& line, std::uint32_t coef, BitVec& acc) const {
+  for (std::uint32_t s = 0; s < symbols_per_line_; ++s) {
+    const std::uint32_t prod = field_.mul(symbol(line, s), coef);
+    if (prod != 0) set_symbol(acc, s, symbol(acc, s) ^ prod);
+  }
+}
+
+void Raid6::compute(const std::vector<BitVec>& lines, BitVec& p, BitVec& q) const {
+  assert(lines.size() == group_size_);
+  p.resize(bits_per_line_);
+  // Q holds weighted field symbols, so it is padded to whole symbols: a
+  // scaled partial tail symbol occupies all m bits even when the data
+  // line's tail does not.
+  q.resize(symbols_per_line_ * static_cast<std::uint32_t>(field_.m()));
+  p.clear();
+  q.clear();
+  for (std::uint32_t i = 0; i < group_size_; ++i) {
+    p ^= lines[i];
+    scaled_xor(lines[i], weight(i), q);
+  }
+}
+
+BitVec Raid6::reconstruct_one(const std::vector<BitVec>& lines, std::uint32_t a,
+                              const BitVec& p) const {
+  BitVec d = p;
+  for (std::uint32_t i = 0; i < group_size_; ++i) {
+    if (i != a) d ^= lines[i];
+  }
+  return d;
+}
+
+std::pair<BitVec, BitVec> Raid6::reconstruct_two(const std::vector<BitVec>& lines,
+                                                 std::uint32_t a, std::uint32_t b,
+                                                 const BitVec& p, const BitVec& q) const {
+  assert(a != b);
+  // P' = P xor (all surviving lines)      = D_a xor D_b
+  // Q' = Q xor (weighted surviving lines) = g^a·D_a xor g^b·D_b
+  BitVec pp = p;
+  BitVec qq = q;
+  for (std::uint32_t i = 0; i < group_size_; ++i) {
+    if (i == a || i == b) continue;
+    pp ^= lines[i];
+    scaled_xor(lines[i], weight(i), qq);
+  }
+  // Solve per symbol: Da = (Q' + g^b·P') / (g^a + g^b);  Db = P' + Da.
+  const std::uint32_t ga = weight(a);
+  const std::uint32_t gb = weight(b);
+  const std::uint32_t denom_inv = field_.inv(ga ^ gb);
+  // Build D_a at padded width, then trim: data lines are zero in the pad.
+  BitVec da(symbols_per_line_ * static_cast<std::uint32_t>(field_.m()));
+  for (std::uint32_t s = 0; s < symbols_per_line_; ++s) {
+    const std::uint32_t num = symbol(qq, s) ^ field_.mul(gb, symbol(pp, s));
+    set_symbol(da, s, field_.mul(num, denom_inv));
+  }
+  da.resize(bits_per_line_);
+  BitVec db = pp;
+  db ^= da;
+  return {da, db};
+}
+
+}  // namespace sudoku

@@ -1,0 +1,55 @@
+// RAID-6 parity pair (P + Q) over a group of stored lines — the baseline of
+// paper §VIII-A / Table XI. P is the XOR parity; Q is a Reed-Solomon-style
+// weighted parity over GF(2^8) applied byte-wise:
+//   Q = XOR_i ( g^i · D_i )      (g = 0x02, i = slot index, up to 255... )
+// With CRC-31 flagging which lines are faulty, the pair recovers any two
+// known-position erasures in the group. Note group sizes above 255 exceed
+// GF(2^8)'s distinct-coefficient range; we use GF(2^16) coefficients when
+// the group is larger so every slot keeps a unique weight.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "codes/gf2m.h"
+
+namespace sudoku {
+
+class Raid6 {
+ public:
+  explicit Raid6(std::uint32_t group_size, std::uint32_t bits_per_line);
+
+  std::uint32_t group_size() const { return group_size_; }
+  std::uint32_t bits_per_line() const { return bits_per_line_; }
+
+  // Compute P and Q over the full group.
+  void compute(const std::vector<BitVec>& lines, BitVec& p, BitVec& q) const;
+
+  // Reconstruct one erased line (slot a) from the others + P.
+  BitVec reconstruct_one(const std::vector<BitVec>& lines, std::uint32_t a,
+                         const BitVec& p) const;
+
+  // Reconstruct two erased lines (slots a != b) from the others + P + Q.
+  // Returns {D_a, D_b}.
+  std::pair<BitVec, BitVec> reconstruct_two(const std::vector<BitVec>& lines,
+                                            std::uint32_t a, std::uint32_t b,
+                                            const BitVec& p, const BitVec& q) const;
+
+ private:
+  std::uint32_t group_size_;
+  std::uint32_t bits_per_line_;
+  std::uint32_t symbols_per_line_;  // bits padded to field symbols
+  GF2m field_;
+
+  // Multiply a line (interpreted as a vector of field symbols) by a scalar
+  // and XOR into acc.
+  void scaled_xor(const BitVec& line, std::uint32_t coef, BitVec& acc) const;
+
+  std::uint32_t weight(std::uint32_t slot) const { return field_.alpha_pow(slot); }
+
+  std::uint32_t symbol(const BitVec& v, std::uint32_t s) const;
+  void set_symbol(BitVec& v, std::uint32_t s, std::uint32_t val) const;
+};
+
+}  // namespace sudoku

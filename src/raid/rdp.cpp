@@ -1,0 +1,150 @@
+#include "raid/rdp.h"
+
+#include <cassert>
+
+namespace sudoku {
+
+namespace {
+
+bool is_prime(std::uint32_t n) {
+  if (n < 2) return false;
+  for (std::uint32_t f = 2; f * f <= n; ++f) {
+    if (n % f == 0) return false;
+  }
+  return true;
+}
+
+std::uint32_t next_prime_at_least(std::uint32_t n) {
+  while (!is_prime(n)) ++n;
+  return n;
+}
+
+}  // namespace
+
+RowDiagonalParity::RowDiagonalParity(std::uint32_t group_size,
+                                     std::uint32_t bits_per_line)
+    : group_size_(group_size), bits_per_line_(bits_per_line) {
+  // Need a prime p with data disks (group_size) + row-parity disk <= p.
+  p_ = next_prime_at_least(group_size + 1);
+  rows_ = p_ - 1;
+  stripes_ = (bits_per_line_ + rows_ - 1) / rows_;
+}
+
+void RowDiagonalParity::compute(const std::vector<BitVec>& lines, BitVec& row_parity,
+                                BitVec& diag_parity) const {
+  assert(lines.size() == group_size_);
+  row_parity.resize(bits_per_line_);
+  row_parity.clear();
+  for (const auto& line : lines) row_parity ^= line;
+
+  diag_parity.resize(diag_bits());
+  diag_parity.clear();
+  for (std::uint32_t s = 0; s < stripes_; ++s) {
+    for (std::uint32_t d = 0; d + 1 < p_; ++d) {  // diagonals 0..p-2
+      bool acc = false;
+      // Data disks 0..group_size-1: cell at row (d - i) mod p, real if
+      // that row is < p-1.
+      for (std::uint32_t i = 0; i < group_size_; ++i) {
+        const std::uint32_t r = (d + p_ - i) % p_;
+        if (r < rows_) acc ^= bit_at(lines[i], s, r);
+      }
+      // Row-parity disk at index p-1: cell at row (d + 1) mod p.
+      const std::uint32_t rp_row = (d + 1) % p_;
+      if (rp_row < rows_) {
+        const std::uint32_t idx = s * rows_ + rp_row;
+        if (idx < bits_per_line_) acc ^= row_parity.test(idx);
+      }
+      if (acc) diag_parity.set(s * rows_ + d);
+    }
+  }
+}
+
+BitVec RowDiagonalParity::reconstruct_one(const std::vector<BitVec>& lines,
+                                          std::uint32_t a,
+                                          const BitVec& row_parity) const {
+  BitVec out = row_parity;
+  for (std::uint32_t i = 0; i < group_size_; ++i) {
+    if (i != a) out ^= lines[i];
+  }
+  return out;
+}
+
+std::pair<BitVec, BitVec> RowDiagonalParity::reconstruct_two(
+    const std::vector<BitVec>& lines, std::uint32_t a, std::uint32_t b,
+    const BitVec& row_parity, const BitVec& diag_parity) const {
+  assert(a != b && a < group_size_ && b < group_size_);
+  BitVec da(bits_per_line_), db(bits_per_line_);
+
+  for (std::uint32_t s = 0; s < stripes_; ++s) {
+    // Row syndromes: s_row[r] = a[r] ^ b[r].
+    std::vector<std::uint8_t> s_row(rows_, 0);
+    for (std::uint32_t r = 0; r < rows_; ++r) {
+      const std::uint32_t idx = s * rows_ + r;
+      bool acc = idx < bits_per_line_ && row_parity.test(idx);
+      for (std::uint32_t i = 0; i < group_size_; ++i) {
+        if (i == a || i == b) continue;
+        acc ^= bit_at(lines[i], s, r);
+      }
+      s_row[r] = acc ? 1 : 0;
+    }
+    // Diagonal syndromes for d in 0..p-2: s_diag[d] = a[ra] ^ b[rb] with
+    // phantom rows (>= p-1) contributing zero.
+    std::vector<std::uint8_t> s_diag(p_, 0);
+    for (std::uint32_t d = 0; d + 1 < p_; ++d) {
+      const std::uint32_t idx = s * rows_ + d;
+      bool acc = diag_parity.test(idx);
+      for (std::uint32_t i = 0; i < group_size_; ++i) {
+        if (i == a || i == b) continue;
+        const std::uint32_t r = (d + p_ - i) % p_;
+        if (r < rows_) acc ^= bit_at(lines[i], s, r);
+      }
+      const std::uint32_t rp_row = (d + 1) % p_;
+      if (rp_row < rows_) {
+        const std::uint32_t ridx = s * rows_ + rp_row;
+        if (ridx < bits_per_line_) acc ^= row_parity.test(ridx);
+      }
+      s_diag[d] = acc ? 1 : 0;
+    }
+
+    // Fixed-point propagation over rows 0..p-1 (row p-1 is the known-zero
+    // phantom). Row equation: a[r]^b[r] = s_row[r]. Diagonal equation for
+    // d <= p-2: a[(d-a) mod p] ^ b[(d-b) mod p] = s_diag[d].
+    std::vector<std::int8_t> va(p_, -1), vb(p_, -1);  // -1 unknown
+    va[p_ - 1] = 0;
+    vb[p_ - 1] = 0;
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (std::uint32_t d = 0; d + 1 < p_; ++d) {
+        const std::uint32_t ra = (d + p_ - a) % p_;
+        const std::uint32_t rb = (d + p_ - b) % p_;
+        if (va[ra] >= 0 && vb[rb] < 0) {
+          vb[rb] = s_diag[d] ^ va[ra];
+          progress = true;
+        } else if (vb[rb] >= 0 && va[ra] < 0) {
+          va[ra] = s_diag[d] ^ vb[rb];
+          progress = true;
+        }
+      }
+      for (std::uint32_t r = 0; r < rows_; ++r) {
+        if (va[r] >= 0 && vb[r] < 0) {
+          vb[r] = s_row[r] ^ va[r];
+          progress = true;
+        } else if (vb[r] >= 0 && va[r] < 0) {
+          va[r] = s_row[r] ^ vb[r];
+          progress = true;
+        }
+      }
+    }
+    for (std::uint32_t r = 0; r < rows_; ++r) {
+      const std::uint32_t idx = s * rows_ + r;
+      if (idx >= bits_per_line_) break;
+      assert(va[r] >= 0 && vb[r] >= 0);  // p prime guarantees full coverage
+      if (va[r] > 0) da.set(idx);
+      if (vb[r] > 0) db.set(idx);
+    }
+  }
+  return {da, db};
+}
+
+}  // namespace sudoku

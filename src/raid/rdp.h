@@ -1,0 +1,70 @@
+// Row-Diagonal Parity (RDP, Corbett et al., FAST'04) — the "diagonal
+// parity and row-wise parity" construction the paper's §VIII-A attributes
+// to its RAID-6 baseline. Pure-XOR double-erasure code:
+//
+//   * choose a prime p with group_size <= p - 1;
+//   * a stripe holds p-1 rows; data unit (line i, row j) belongs to row
+//     parity j and to diagonal (i + j) mod p;
+//   * the row-parity "line" holds per-row XORs (it occupies diagonal slot
+//     i = G in the numbering below); the diagonal-parity line holds
+//     diagonals 0..p-2 (diagonal p-1 is the intentionally "missing" one);
+//   * any two lost lines are recovered by the classic RDP chain: the
+//     missing diagonal gives a starting point, and row/diagonal parities
+//     alternate until both lines are rebuilt.
+//
+// Lines longer than one stripe (our 553-bit codewords vs p-1 rows) are
+// covered by consecutive independent stripes with zero padding.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.h"
+
+namespace sudoku {
+
+class RowDiagonalParity {
+ public:
+  RowDiagonalParity(std::uint32_t group_size, std::uint32_t bits_per_line);
+
+  std::uint32_t group_size() const { return group_size_; }
+  std::uint32_t bits_per_line() const { return bits_per_line_; }
+  std::uint32_t prime() const { return p_; }
+  std::uint32_t stripes() const { return stripes_; }
+
+  // Compute the row-parity and diagonal-parity lines over the full group.
+  void compute(const std::vector<BitVec>& lines, BitVec& row_parity,
+               BitVec& diag_parity) const;
+
+  // Rebuild one erased line from the others + row parity (plain RAID-4).
+  BitVec reconstruct_one(const std::vector<BitVec>& lines, std::uint32_t a,
+                         const BitVec& row_parity) const;
+
+  // Rebuild two erased lines (slots a != b) via the RDP recovery chain.
+  std::pair<BitVec, BitVec> reconstruct_two(const std::vector<BitVec>& lines,
+                                            std::uint32_t a, std::uint32_t b,
+                                            const BitVec& row_parity,
+                                            const BitVec& diag_parity) const;
+
+  // Diagonal parity needs p-1 slots per stripe; its line width may exceed
+  // the data width (padded at the tail of each stripe).
+  std::uint32_t diag_bits() const { return stripes_ * (p_ - 1); }
+
+ private:
+  std::uint32_t group_size_;
+  std::uint32_t bits_per_line_;
+  std::uint32_t p_;        // prime >= group_size + 1
+  std::uint32_t rows_;     // p - 1 rows per stripe
+  std::uint32_t stripes_;  // ceil(bits_per_line / rows)
+
+  // Diagonal id of (line i, row j) within a stripe.
+  std::uint32_t diag_of(std::uint32_t line, std::uint32_t row) const {
+    return (line + row) % p_;
+  }
+  bool bit_at(const BitVec& line, std::uint32_t stripe, std::uint32_t row) const {
+    const std::uint32_t idx = stripe * rows_ + row;
+    return idx < bits_per_line_ && line.test(idx);
+  }
+};
+
+}  // namespace sudoku

@@ -1,0 +1,265 @@
+#include "reliability/analytical.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/prob.h"
+
+namespace sudoku::reliability {
+
+namespace {
+
+// ln P[>=1 failure per interval] -> FitResult.
+FitResult make_result(double log_p_interval, double interval_s) {
+  return FitResult{log_p_interval, interval_s};
+}
+
+}  // namespace
+
+double FitResult::p_interval() const { return std::exp(log_p_interval); }
+
+double FitResult::fit() const {
+  // failures per 1e9 hours = p_interval × intervals in 1e9 hours.
+  return std::exp(log_p_interval + std::log(kSecondsPerBillionHours / interval_s));
+}
+
+double FitResult::mttf_seconds() const {
+  return interval_s / p_interval();
+}
+
+double log_p_line_ge(std::uint32_t bits, std::uint32_t k, double ber) {
+  return log_binom_tail_ge(bits, k, ber);
+}
+
+double log_p_line_eq(std::uint32_t bits, std::uint32_t k, double ber) {
+  return log_binom_pmf(bits, k, ber);
+}
+
+double log_cache_of_units(double log_p_unit, double n_units) {
+  return log_any_of_n(log_p_unit, n_units);
+}
+
+FitResult ecc_k(const CacheParams& c, int k, std::uint32_t line_bits) {
+  if (line_bits == 0) line_bits = 512 + 10u * static_cast<std::uint32_t>(k);
+  const double lp_line = log_p_line_ge(line_bits, static_cast<std::uint32_t>(k) + 1, c.ber);
+  const double lp_cache = log_cache_of_units(lp_line, static_cast<double>(c.num_lines));
+  return make_result(lp_cache, c.scrub_interval_s);
+}
+
+FitResult sudoku_x_due(const CacheParams& c, std::uint32_t line_bits) {
+  // Group fails when >= 2 of its G lines carry more faults than the inner
+  // code corrects (§III-C: one such line per group is repaired by RAID-4).
+  if (line_bits == 0) line_bits = c.sudoku_line_bits();
+  const auto t = static_cast<std::uint32_t>(c.inner_ecc_t);
+  const double q_multi = std::exp(log_p_line_ge(line_bits, t + 1, c.ber));
+  const double lp_group = log_binom_tail_ge(c.group_size, 2, q_multi);
+  const double lp_cache = log_cache_of_units(lp_group, static_cast<double>(c.num_groups()));
+  return make_result(lp_cache, c.scrub_interval_s);
+}
+
+FitResult sudoku_y_due(const CacheParams& c, SdrModel model, std::uint32_t line_bits) {
+  if (line_bits == 0) line_bits = c.sudoku_line_bits();
+  const double B = line_bits;
+  const double G = c.group_size;
+  const auto t = static_cast<std::uint32_t>(c.inner_ecc_t);
+  // "soft" = exactly t+1 faults (resurrectable: one trial flip brings the
+  // line within the inner code's reach); "hard" = t+2 or more.
+  const double q_soft = std::exp(log_p_line_eq(line_bits, t + 1, c.ber));
+  const double q_multi = std::exp(log_p_line_ge(line_bits, t + 1, c.ber));
+  const double q_hard = std::exp(log_p_line_ge(line_bits, t + 2, c.ber));
+  const double q_hard_e = std::exp(log_p_line_eq(line_bits, t + 2, c.ber));
+
+  const double pairs = std::exp(log_binom_coeff(G, 2));
+  const double triples = std::exp(log_binom_coeff(G, 3));
+  const double quads = std::exp(log_binom_coeff(G, 4));
+
+  // Combinatorics of fault-set masking: a soft line resurrects unless all
+  // of its t+1 fault positions are masked by the partner's fault set.
+  const double subsets = std::exp(log_binom_coeff(B, t + 1.0));
+  const double identical_sets = 1.0 / subsets;                       // (t+1) vs (t+1)
+  const double masked_by_hard =
+      std::exp(log_binom_coeff(t + 2.0, t + 1.0)) / subsets;         // (t+1) in (t+2)
+  // P[two random (t+1)-subsets of B intersect] ≈ (t+1)^2 / B.
+  const double pairwise_touch = (t + 1.0) * (t + 1.0) / B;
+
+  double p_group = 0.0;
+  if (model == SdrModel::kMechanistic) {
+    // Failure modes of the implemented algorithm (§IV, Figure 3/4),
+    // generalised from ECC-1 to ECC-t:
+    // (a) two soft lines with *identical* fault sets — the parity mismatch
+    //     vanishes and SDR has nothing to flip (Fig. 3c).
+    const double t_overlap = pairs * q_soft * q_soft * identical_sets;
+    // (b) two hard lines — one trial flip still leaves > t faults, and
+    //     RAID-4 needs a lone victim.
+    const double t_hh = pairs * q_hard * q_hard;
+    // (c) a soft line fully masked by a hard partner (Fig. 4's ">1 bit of
+    //     overlap" case).
+    const double t_mask = pairs * 2.0 * q_soft * q_hard_e * masked_by_hard;
+    // (d) three multi-bit lines where any is hard: more than 3(t+1) parity
+    //     mismatches, and SDR is skipped beyond the mismatch cap (§IV-C).
+    const double t_3line = triples * 3.0 * q_hard * q_multi * q_multi;
+    // (e) three soft lines with any pairwise overlap (otherwise the
+    //     3(t+1) mismatches resurrect all three, §IV-C).
+    const double t_3line_overlap =
+        triples * q_soft * q_soft * q_soft * 3.0 * pairwise_touch;
+    // (f) four or more multi-bit lines: mismatch count beyond the cap.
+    const double t_4line = quads * q_multi * q_multi * q_multi * q_multi;
+    p_group = t_overlap + t_hh + t_mask + t_3line + t_3line_overlap + t_4line;
+  } else {
+    // kStrict: SDR succeeds only when every faulty line is soft and no
+    // fault sets touch; any hard line in a multi-line group is fatal.
+    // This brackets the paper's quoted Y numbers from below.
+    const double t_any_hard_pair = pairs * (q_multi * q_multi - q_soft * q_soft);
+    const double t_overlap = pairs * q_soft * q_soft * pairwise_touch;
+    const double t_3line =
+        triples * q_multi * q_multi * q_multi * 3.0 * (pairwise_touch + q_hard / q_multi);
+    const double t_4line = quads * q_multi * q_multi * q_multi * q_multi;
+    p_group = t_any_hard_pair + t_overlap + t_3line + t_4line;
+  }
+
+  const double lp_cache =
+      log_cache_of_units(std::log(std::min(p_group, 1.0)), static_cast<double>(c.num_groups()));
+  return make_result(lp_cache, c.scrub_interval_s);
+}
+
+namespace {
+
+// P[a given uncorrectable line is also blocked in its Hash-2 group].
+// The Hash-2 group blocks repair when it contains (i) another "hard" line
+// — the pair is then exactly the Y-fatal (b) pattern — or (ii) two or more
+// other multi-bit lines (mismatch count exceeds the SDR cap, and RAID-4
+// has multiple victims).
+double p_blocked_hash2(const CacheParams& c, double q_multi, double q_hard) {
+  const double G = c.group_size;
+  const double partner_hard = 1.0 - std::exp((G - 1.0) * std::log1p(-q_hard));
+  const double two_soft = std::exp(log_binom_coeff(G - 1.0, 2)) * q_multi * q_multi;
+  return partner_hard + two_soft;
+}
+
+}  // namespace
+
+FitResult sudoku_z_due(const CacheParams& c, SdrModel model, std::uint32_t line_bits) {
+  if (line_bits == 0) line_bits = c.sudoku_line_bits();
+  const auto t = static_cast<std::uint32_t>(c.inner_ecc_t);
+  const double q_multi = std::exp(log_p_line_ge(line_bits, t + 1, c.ber));
+  const double q_hard = std::exp(log_p_line_ge(line_bits, t + 2, c.ber));
+  const double G = c.group_size;
+  const double pairs = std::exp(log_binom_coeff(G, 2));
+
+  double p_group = 0.0;
+  if (model == SdrModel::kMechanistic) {
+    // The implemented controller iterates Hash-1/Hash-2 repairs to a
+    // *global* fixed point, so a line with soft (2-fault) partners in its
+    // Hash-2 group is not blocked for long: those partners are rebuilt as
+    // lone victims of their own Hash-1 groups and the retry succeeds. The
+    // minimal genuinely-fatal pattern is a 4-cycle of hard (3+-fault)
+    // lines: A,B share a Hash-1 group; C in A's Hash-2 group and D in B's
+    // Hash-2 group themselves share a Hash-1 group (the field structure
+    // makes D unique given C). Probability per base group, halved because
+    // the cycle is counted from both of its Hash-1 groups:
+    p_group = 0.5 * pairs * q_hard * q_hard * (G - 1.0) * q_hard * q_hard;
+  } else {
+    // kStrict: static blocking, no global fixed point (the accounting the
+    // paper's §V-C numbers imply): a hard line fails if its Hash-2 group
+    // contains another hard line or two multi-bit lines at scrub time.
+    const double blocked = p_blocked_hash2(c, q_multi, q_hard);
+    p_group = pairs * q_hard * q_hard * blocked * blocked;
+  }
+
+  const double lp_cache =
+      log_cache_of_units(std::log(std::min(p_group, 1.0)), static_cast<double>(c.num_groups()));
+  return make_result(lp_cache, c.scrub_interval_s);
+}
+
+FitResult sudoku_z_no_sdr(const CacheParams& c, std::uint32_t line_bits) {
+  // Footnote 4: skewed hashing over SuDoku-X. Any multi-bit line is "hard".
+  if (line_bits == 0) line_bits = c.sudoku_line_bits();
+  const auto t = static_cast<std::uint32_t>(c.inner_ecc_t);
+  const double q_multi = std::exp(log_p_line_ge(line_bits, t + 1, c.ber));
+  const double G = c.group_size;
+  const double pairs = std::exp(log_binom_coeff(G, 2));
+  const double blocked = 1.0 - std::exp((G - 1.0) * std::log1p(-q_multi));
+  const double p_group = pairs * q_multi * q_multi * blocked * blocked;
+  const double lp_cache =
+      log_cache_of_units(std::log(std::min(p_group, 1.0)), static_cast<double>(c.num_groups()));
+  return make_result(lp_cache, c.scrub_interval_s);
+}
+
+SdcBreakdown sudoku_sdc(const CacheParams& c, std::uint32_t line_bits) {
+  if (line_bits == 0) line_bits = c.sudoku_line_bits();
+  const double intervals_per_1e9h = kSecondsPerBillionHours / c.scrub_interval_s;
+  const double lp6 = log_p_line_ge(line_bits, 6, c.ber);
+  const double lp7 = log_p_line_eq(line_bits, 7, c.ber);
+  const double lp8 = log_p_line_ge(line_bits, 8, c.ber);
+  const double n = static_cast<double>(c.num_lines);
+  SdcBreakdown out;
+  out.fit_six_plus_events = std::exp(log_any_of_n(lp6, n)) * intervals_per_1e9h;
+  out.fit_seven_fault_events = std::exp(log_any_of_n(lp7, n)) * intervals_per_1e9h;
+  out.fit_eight_plus_events = std::exp(log_any_of_n(lp8, n)) * intervals_per_1e9h;
+  // A 7-fault line is miscorrected by ECC-1 into an 8-fault (even-weight)
+  // pattern which CRC-31 misses with 2^-31; 8+-fault lines can evade the
+  // CRC directly with the same probability (§III-F).
+  const double miss = std::pow(2.0, -31.0);
+  out.sdc_fit = (out.fit_seven_fault_events + out.fit_eight_plus_events) * miss;
+  out.sdc_fit_paper_style = out.fit_six_plus_events * miss;
+  return out;
+}
+
+FitResult sudoku_total(const CacheParams& c, char variant, SdrModel model) {
+  FitResult due{};
+  switch (variant) {
+    case 'X': due = sudoku_x_due(c); break;
+    case 'Y': due = sudoku_y_due(c, model); break;
+    case 'Z': due = sudoku_z_due(c, model); break;
+    default: assert(false);
+  }
+  const double sdc_fit = sudoku_sdc(c).sdc_fit;
+  const double intervals_per_1e9h = kSecondsPerBillionHours / c.scrub_interval_s;
+  const double lp_sdc = std::log(sdc_fit / intervals_per_1e9h);
+  return make_result(log_sum(due.log_p_interval, lp_sdc), c.scrub_interval_s);
+}
+
+FitResult cppc(const CacheParams& c, std::uint32_t line_bits) {
+  // One global parity line: equivalent to SuDoku-X with a single
+  // cache-sized RAID-Group.
+  if (line_bits == 0) line_bits = c.sudoku_line_bits();
+  const auto t = static_cast<std::uint32_t>(c.inner_ecc_t);
+  const double q2 = std::exp(log_p_line_ge(line_bits, t + 1, c.ber));
+  const double lp = log_binom_tail_ge(static_cast<double>(c.num_lines), 2, q2);
+  return make_result(lp, c.scrub_interval_s);
+}
+
+FitResult raid6(const CacheParams& c, std::uint32_t line_bits) {
+  // Two parities per group correct two known-position (CRC-flagged)
+  // multi-bit lines; three defeat it.
+  if (line_bits == 0) line_bits = c.sudoku_line_bits();
+  const auto t = static_cast<std::uint32_t>(c.inner_ecc_t);
+  const double q2 = std::exp(log_p_line_ge(line_bits, t + 1, c.ber));
+  const double lp_group = log_binom_tail_ge(c.group_size, 3, q2);
+  const double lp_cache = log_cache_of_units(lp_group, static_cast<double>(c.num_groups()));
+  return make_result(lp_cache, c.scrub_interval_s);
+}
+
+FitResult twodp(const CacheParams& c, SdrModel model, std::uint32_t line_bits) {
+  // Horizontal + vertical parity over one fixed set of lines: the same
+  // mismatch-position machinery as SuDoku-Y but with no second hash. The
+  // paper's Table XI value (2.8e8) equals its SuDoku-Y DUE FIT.
+  return sudoku_y_due(c, model, line_bits);
+}
+
+FitResult hi_ecc(const CacheParams& c, std::uint32_t region_data_bits, int t) {
+  const std::uint32_t region_bits = region_data_bits + 14u * static_cast<std::uint32_t>(t);
+  const double n_regions = static_cast<double>(c.num_lines) * 512.0 / region_data_bits;
+  const double lp_region =
+      log_p_line_ge(region_bits, static_cast<std::uint32_t>(t) + 1, c.ber);
+  const double lp_cache = log_cache_of_units(lp_region, n_regions);
+  return make_result(lp_cache, c.scrub_interval_s);
+}
+
+double sram_vmin_cache_failure_ecc(const CacheParams& c, int k, std::uint32_t line_bits) {
+  const double lp_line = log_p_line_ge(line_bits, static_cast<std::uint32_t>(k) + 1, c.ber);
+  return std::exp(log_cache_of_units(lp_line, static_cast<double>(c.num_lines)));
+}
+
+}  // namespace sudoku::reliability

@@ -1,0 +1,120 @@
+#include "reliability/montecarlo.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "common/prob.h"
+#include "sttram/fault_injector.h"
+
+namespace sudoku::reliability {
+
+double McResult::fit(double interval_s) const {
+  return p_failure_per_interval() * (kSecondsPerBillionHours / interval_s);
+}
+
+double McResult::mttf_seconds(double interval_s) const {
+  const double p = p_failure_per_interval();
+  return p > 0 ? interval_s / p : 1e300;
+}
+
+std::string McResult::summary() const {
+  std::ostringstream os;
+  os << "intervals=" << intervals << " faults=" << faults_injected
+     << " ecc1=" << ecc1_corrections << " raid4=" << raid4_repairs
+     << " sdr=" << sdr_repairs << " hash2=" << hash2_invocations
+     << " due_lines=" << due_lines << " sdc_lines=" << sdc_lines
+     << " failure_intervals=" << failure_intervals;
+  return os.str();
+}
+
+McResult run_montecarlo(const McConfig& config) {
+  SudokuConfig ctrl_cfg;
+  ctrl_cfg.geo.num_lines = config.cache.num_lines;
+  ctrl_cfg.geo.group_size = config.cache.group_size;
+  ctrl_cfg.level = config.level;
+  SudokuController ctrl(ctrl_cfg);
+
+  Rng rng(config.seed);
+  // Golden copy of every stored codeword for SDC detection and refill.
+  SttramArray golden(config.cache.num_lines, ctrl.codec().total_bits());
+  ctrl.format([&](std::uint64_t line) {
+    BitVec data(LineCodec::kDataBits);
+    auto w = data.words();
+    for (auto& word : w) word = rng.next_u64();
+    golden.write_line(line, ctrl.codec().encode(data));
+    return data;
+  });
+
+  FaultInjector injector(config.cache.num_lines, ctrl.codec().total_bits(),
+                         config.cache.ber);
+
+  McResult result;
+  std::vector<std::uint64_t> touched;
+  for (std::uint64_t interval = 0; interval < config.max_intervals; ++interval) {
+    const auto batch = injector.sample_interval(rng);
+    result.faults_injected += FaultInjector::count(batch);
+    FaultInjector::apply(batch, ctrl.array());
+
+    touched.clear();
+    touched.reserve(batch.size());
+    for (const auto& [line, bits] : batch) touched.push_back(line);
+
+    // §VIII-B: host write traffic with write errors. Each write stores a
+    // fresh payload (mirrored into golden) and then flips written bits
+    // with probability `wer` — indistinguishable from retention faults to
+    // the controller, which is the paper's point.
+    for (std::uint64_t w = 0; w < config.host_writes_per_interval; ++w) {
+      const std::uint64_t line = rng.next_below(config.cache.num_lines);
+      BitVec data(LineCodec::kDataBits);
+      auto words = data.words();
+      for (auto& word : words) word = rng.next_u64();
+      ctrl.write_data(line, data);
+      golden.write_line(line, ctrl.codec().encode(data));
+      const std::uint64_t nflips =
+          rng.next_binomial(ctrl.codec().total_bits(), config.wer);
+      for (std::uint64_t f = 0; f < nflips; ++f) {
+        ctrl.array().flip(line, static_cast<std::uint32_t>(
+                                    rng.next_below(ctrl.codec().total_bits())));
+      }
+      result.faults_injected += nflips;
+      if (nflips > 0) touched.push_back(line);
+    }
+
+    const auto stats = ctrl.scrub_lines(touched);
+    result.ecc1_corrections += stats.ecc1_corrections;
+    result.raid4_repairs += stats.raid4_repairs;
+    result.sdr_repairs += stats.sdr_repairs;
+    result.hash2_invocations += stats.hash2_invocations;
+    result.groups_repaired += stats.groups_repaired;
+    result.due_lines += stats.due_lines;
+
+    bool interval_failed = stats.due_lines > 0;
+    const std::unordered_set<std::uint64_t> due(stats.due_line_ids.begin(),
+                                                stats.due_line_ids.end());
+    if (config.verify_against_golden) {
+      for (const auto line : touched) {
+        if (due.count(line)) continue;  // already accounted as DUE
+        if (!ctrl.array().line_equals(line, golden.read_line(line))) {
+          ++result.sdc_lines;
+          interval_failed = true;
+          // Heal silently-corrupted state so later intervals stay valid.
+          ctrl.array().write_line(line, golden.read_line(line));
+        }
+      }
+    }
+    // Refill DUE lines from golden (models a refill/invalna-refetch) and
+    // resynchronise parity via the write path.
+    for (const auto line : stats.due_line_ids) {
+      ctrl.write_data(line, ctrl.codec().extract_data(golden.read_line(line)));
+    }
+
+    if (interval_failed) ++result.failure_intervals;
+    ++result.intervals;
+    if (config.target_failures != 0 && result.failure_intervals >= config.target_failures) {
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace sudoku::reliability

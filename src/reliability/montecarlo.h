@@ -1,0 +1,66 @@
+// Monte-Carlo reliability harness (FaultSim-style, paper §VII-A). Unlike
+// the analytical models, this drives the *functional* SuDoku controller:
+// real CRC-31/ECC-1 codecs, real PLTs, real SDR trial flips. Per scrub
+// interval it injects Binomial(total_bits, BER) faults, scrubs the touched
+// lines, and classifies the outcome against golden data:
+//   * DUE  — controller declared a line uncorrectable (data loss, detected)
+//   * SDC  — controller believed a line fine/corrected but it mismatches
+//            golden (silent corruption)
+// Lost lines are refilled from golden so the simulation continues (models
+// a refill from the next memory level).
+//
+// At the paper's operating point SuDoku-Z events are unobservably rare;
+// validation runs at accelerated BER where analytical and MC regimes
+// overlap (see bench_montecarlo_validation).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "reliability/analytical.h"
+#include "sudoku/controller.h"
+
+namespace sudoku::reliability {
+
+struct McConfig {
+  reliability::CacheParams cache;
+  SudokuLevel level = SudokuLevel::kZ;
+  std::uint64_t seed = 1;
+  std::uint64_t max_intervals = 10000;
+  // Stop early once this many DUE/SDC intervals were observed (0 = never).
+  std::uint64_t target_failures = 0;
+  bool verify_against_golden = true;
+
+  // §VIII-B write-error mode: host writes per interval, each of which
+  // flips every written bit with probability `wer` (write error rate).
+  // SuDoku does not distinguish write errors from retention errors; with
+  // wer ≈ retention BER the reliability should be similar — exercised by
+  // tests and bench_ablation_features.
+  std::uint64_t host_writes_per_interval = 0;
+  double wer = 0.0;
+};
+
+struct McResult {
+  std::uint64_t intervals = 0;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t ecc1_corrections = 0;
+  std::uint64_t raid4_repairs = 0;
+  std::uint64_t sdr_repairs = 0;
+  std::uint64_t hash2_invocations = 0;
+  std::uint64_t groups_repaired = 0;
+  std::uint64_t due_lines = 0;
+  std::uint64_t sdc_lines = 0;
+  std::uint64_t failure_intervals = 0;  // intervals with >= 1 DUE or SDC
+
+  double p_failure_per_interval() const {
+    return intervals ? static_cast<double>(failure_intervals) / intervals : 0.0;
+  }
+  double fit(double interval_s) const;
+  double mttf_seconds(double interval_s) const;
+
+  std::string summary() const;
+};
+
+McResult run_montecarlo(const McConfig& config);
+
+}  // namespace sudoku::reliability

@@ -1,0 +1,110 @@
+#include "sim/dram.h"
+
+#include <algorithm>
+
+namespace sudoku::sim {
+
+DramModel::DramModel(const DramConfig& config)
+    : config_(config),
+      banks_(config.channels * config.ranks_per_channel * config.banks_per_rank),
+      ranks_(config.channels * config.ranks_per_channel),
+      bus_free_(config.channels, 0.0) {
+  // Stagger the first refresh across banks so they don't align.
+  for (std::size_t i = 0; i < banks_.size(); ++i) {
+    banks_[i].next_refresh =
+        config_.timing.tREFI * (static_cast<double>(i % 8) + 1.0) / 8.0;
+  }
+}
+
+DramModel::Decoded DramModel::decode(std::uint64_t addr) const {
+  // Block-interleaved: consecutive 64 B blocks round-robin across channels,
+  // then banks — maximises parallelism for streams (the common layout).
+  const std::uint64_t block = addr / 64;
+  Decoded d;
+  d.channel = static_cast<std::uint32_t>(block % config_.channels);
+  std::uint64_t rest = block / config_.channels;
+  d.bank = static_cast<std::uint32_t>(rest % config_.banks_per_rank);
+  rest /= config_.banks_per_rank;
+  d.rank = static_cast<std::uint32_t>(rest % config_.ranks_per_channel);
+  rest /= config_.ranks_per_channel;
+  d.row = rest / (config_.row_bytes / 64);
+  return d;
+}
+
+void DramModel::apply_refresh(BankState& bank, double now) {
+  while (bank.next_refresh <= now) {
+    // The bank is blocked for tRFC starting at the scheduled refresh (or
+    // when it becomes free, whichever is later), and loses its open row.
+    const double start = std::max(bank.next_refresh, bank.ready_at);
+    bank.ready_at = start + config_.timing.tRFC;
+    bank.row_open = false;
+    bank.next_refresh += config_.timing.tREFI;
+    ++stats_.refreshes_applied;
+  }
+}
+
+double DramModel::activate_allowed_at(RankState& rank, double t) const {
+  double allowed = std::max(t, rank.last_activate + config_.timing.tRRD);
+  if (rank.recent_activates.size() >= 4) {
+    // tFAW: the fifth ACTIVATE waits for the window opened by the
+    // fourth-most-recent one to close.
+    const double window_open =
+        rank.recent_activates[rank.recent_activates.size() - 4];
+    allowed = std::max(allowed, window_open + config_.timing.tFAW);
+  }
+  return allowed;
+}
+
+void DramModel::record_activate(RankState& rank, double t) {
+  rank.last_activate = t;
+  rank.recent_activates.push_back(t);
+  if (rank.recent_activates.size() > 8) {
+    rank.recent_activates.erase(rank.recent_activates.begin(),
+                                rank.recent_activates.end() - 4);
+  }
+}
+
+double DramModel::access(std::uint64_t addr, double now, bool is_write) {
+  const Decoded d = decode(addr);
+  BankState& bank = banks_[bank_index(d)];
+  RankState& rank = ranks_[rank_index(d)];
+  const DramTiming& T = config_.timing;
+  ++stats_.accesses;
+
+  apply_refresh(bank, now);
+
+  double t = std::max(now, bank.ready_at);
+  double data_start;
+  if (bank.row_open && bank.open_row == d.row) {
+    // Row hit: column access only.
+    ++stats_.row_hits;
+    data_start = t + T.tCAS;
+  } else {
+    if (bank.row_open) {
+      // Conflict: precharge first, honoring tRAS since the activate.
+      ++stats_.row_conflicts;
+      const double pre_at = std::max(t, bank.activated_at + T.tRAS);
+      t = pre_at + T.tRP;
+    } else {
+      ++stats_.row_misses;
+    }
+    const double act_at = activate_allowed_at(rank, t);
+    record_activate(rank, act_at);
+    bank.activated_at = act_at;
+    bank.row_open = true;
+    bank.open_row = d.row;
+    data_start = act_at + T.tRCD + T.tCAS;
+  }
+
+  // Channel data bus: the burst must find a free slot at/after data_start.
+  double& bus = bus_free_[d.channel];
+  const double burst_start = std::max(data_start, bus);
+  bus = burst_start + T.tBurst;
+  const double done = burst_start + T.tBurst;
+
+  // Bank becomes command-ready after the access (writes add recovery).
+  bank.ready_at = done + (is_write ? T.tWR : 0.0);
+  return done;
+}
+
+}  // namespace sudoku::sim

@@ -1,0 +1,109 @@
+// DDR3 main-memory timing model (Table VI: 2 channels of DDR3-800,
+// 8 GB each), in the spirit of USIMM's memory system. Models:
+//   * channel/rank/bank address interleaving,
+//   * open-page row buffers: row hits pay tCAS, misses pay tRCD+tCAS,
+//     conflicts add tRP (precharge) and respect tRAS,
+//   * tFAW: at most four ACTIVATEs per rank in any rolling window,
+//   * tRRD between ACTIVATEs to the same rank,
+//   * data-bus occupancy per channel (burst of 64 B),
+//   * periodic refresh: the bank is unavailable for tRFC every tREFI.
+// Requests are serviced per-bank in arrival order (FCFS); the cores above
+// provide the out-of-order overlap.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sudoku::sim {
+
+struct DramTiming {
+  // DDR3-800: 400 MHz clock -> 2.5 ns cycle; values in nanoseconds.
+  double tCK = 2.5;
+  double tCAS = 27.5;   // CL 11
+  double tRCD = 27.5;
+  double tRP = 27.5;
+  double tRAS = 87.5;
+  double tRRD = 15.0;
+  double tFAW = 75.0;
+  double tBurst = 10.0;  // 8-beat burst on a 64-bit bus (BL8)
+  double tWR = 15.0;     // write recovery
+  double tREFI = 7800.0;
+  double tRFC = 160.0;
+};
+
+struct DramConfig {
+  std::uint32_t channels = 2;
+  std::uint32_t ranks_per_channel = 2;
+  std::uint32_t banks_per_rank = 8;
+  std::uint32_t row_bytes = 8192;  // row-buffer size
+  DramTiming timing;
+};
+
+struct DramStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t row_hits = 0;
+  std::uint64_t row_misses = 0;    // bank idle/precharged
+  std::uint64_t row_conflicts = 0; // different row open
+  std::uint64_t refreshes_applied = 0;
+
+  double row_hit_rate() const {
+    return accesses ? static_cast<double>(row_hits) / accesses : 0.0;
+  }
+};
+
+class DramModel {
+ public:
+  explicit DramModel(const DramConfig& config);
+
+  const DramConfig& config() const { return config_; }
+  const DramStats& stats() const { return stats_; }
+
+  // Service a 64 B read/write issued at time `now` (ns). Returns the time
+  // the data transfer completes on the channel bus.
+  double access(std::uint64_t addr, double now, bool is_write);
+
+  // Address decomposition (exposed for tests).
+  struct Decoded {
+    std::uint32_t channel;
+    std::uint32_t rank;
+    std::uint32_t bank;
+    std::uint64_t row;
+  };
+  Decoded decode(std::uint64_t addr) const;
+
+ private:
+  struct BankState {
+    bool row_open = false;
+    std::uint64_t open_row = 0;
+    double ready_at = 0.0;        // earliest next command
+    double activated_at = 0.0;    // for tRAS
+    double refreshed_until = 0.0; // refresh window bookkeeping
+    double next_refresh = 0.0;
+  };
+  struct RankState {
+    std::vector<double> recent_activates;  // rolling tFAW window (size 4)
+    double last_activate = -1e18;          // for tRRD
+  };
+
+  DramConfig config_;
+  DramStats stats_;
+  std::vector<BankState> banks_;    // channel-major
+  std::vector<RankState> ranks_;
+  std::vector<double> bus_free_;    // per channel
+
+  std::uint32_t bank_index(const Decoded& d) const {
+    return (d.channel * config_.ranks_per_channel + d.rank) * config_.banks_per_rank +
+           d.bank;
+  }
+  std::uint32_t rank_index(const Decoded& d) const {
+    return d.channel * config_.ranks_per_channel + d.rank;
+  }
+
+  // Apply any refreshes due before `now` on this bank.
+  void apply_refresh(BankState& bank, double now);
+  // Earliest time an ACTIVATE may issue on this rank at/after `t`.
+  double activate_allowed_at(RankState& rank, double t) const;
+  void record_activate(RankState& rank, double t);
+};
+
+}  // namespace sudoku::sim

@@ -1,0 +1,230 @@
+#include "sim/timing_sim.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "sim/trace_io.h"
+
+namespace sudoku::sim {
+
+namespace {
+
+// Shared-resource availability tracking: per-bank next-free times.
+struct BankedResource {
+  std::vector<double> free_at;
+  explicit BankedResource(std::uint32_t banks) : free_at(banks, 0.0) {}
+
+  // Occupy bank `b` for `service_ns` starting no earlier than `t`;
+  // returns the service start time.
+  double occupy(std::uint32_t b, double t, double service_ns) {
+    const double start = std::max(t, free_at[b]);
+    free_at[b] = start + service_ns;
+    return start;
+  }
+};
+
+struct OutstandingMiss {
+  double completes_at;
+  std::uint64_t instr_at_issue;  // retired-instruction count when issued
+  bool operator>(const OutstandingMiss& o) const { return completes_at > o.completes_at; }
+};
+
+// Per-core simulation state. Cores advance one LLC access at a time,
+// globally interleaved in time order so that shared-resource contention
+// (LLC banks, DRAM banks/buses, PLT ports) is modelled faithfully.
+struct CoreState {
+  std::unique_ptr<AccessSource> source;
+  std::string name;
+  double now = 0.0;            // core-local time (ns)
+  std::uint64_t retired = 0;   // instructions
+  std::uint64_t accesses = 0;
+  bool done = false;
+  std::priority_queue<OutstandingMiss, std::vector<OutstandingMiss>,
+                      std::greater<OutstandingMiss>>
+      outstanding;
+};
+
+}  // namespace
+
+TimingSimulator::TimingSimulator(const SimConfig& config) : config_(config) {}
+
+SimResult TimingSimulator::run(const std::vector<std::string>& benchmarks) {
+  const SimConfig& cfg = config_;
+  const double cycle_ns = 1.0 / cfg.core_ghz;
+
+  cache::CacheModel llc(cfg.llc);
+  DramModel dram(cfg.dram);
+  BankedResource llc_banks(cfg.llc.banks);
+  BankedResource plt_banks(cfg.llc.banks);  // §VII-I: same bank count
+
+  // SuDoku background traffic (scrub sweep + rare repairs) runs at low
+  // priority and defers to demand accesses; a demand request at worst
+  // waits out the residual of one in-flight scrub read. Expected extra
+  // delay per access = duty × service/2 (preemptive-resume residual).
+  double scrub_residual_ns = 0.0;
+  if (cfg.sudoku.enabled && cfg.sudoku.scrub_interferes) {
+    const double interval_ns = cfg.sudoku.scrub_interval_ms * 1e6;
+    const double lines_per_bank =
+        static_cast<double>(cfg.llc.num_lines()) / cfg.llc.banks;
+    const double scrub_ns = lines_per_bank * cfg.llc_read_ns;
+    const double repair_ns = cfg.sudoku.raid_events_per_interval *
+                             cfg.sudoku.raid_repair_us * 1e3 / cfg.llc.banks;
+    const double duty = (scrub_ns + repair_ns) / interval_ns;
+    scrub_residual_ns = duty * cfg.llc_read_ns / 2.0;
+  }
+
+  SimResult result;
+  result.cores.resize(cfg.num_cores);
+
+  // Warmup: populate the LLC untimed so measurement starts from a steady
+  // state (fresh sources with the same seed replay identically below).
+  for (std::uint32_t core = 0; core < cfg.num_cores; ++core) {
+    const auto source = make_source(benchmarks[core % benchmarks.size()], core, cfg.seed);
+    for (std::uint64_t i = 0; i < cfg.warmup_accesses_per_core; ++i) {
+      const LlcAccess acc = source->next();
+      llc.access(acc.addr, acc.is_write);
+    }
+  }
+  llc.reset_stats();
+
+  auto dram_access = [&](std::uint64_t addr, double t, bool is_write) {
+    ++result.dram_accesses;
+    return dram.access(addr, t, is_write);
+  };
+
+  std::vector<CoreState> cores(cfg.num_cores);
+  for (std::uint32_t c = 0; c < cfg.num_cores; ++c) {
+    cores[c].name = benchmarks[c % benchmarks.size()];
+    cores[c].source = make_source(cores[c].name, c, cfg.seed);
+  }
+
+  // Process one LLC access on the given core; advances its local clock.
+  auto step = [&](CoreState& core) {
+    const LlcAccess acc = core.source->next();
+    ++core.accesses;
+
+    // Compute phase: gap instructions retire at `width` per cycle,
+    // overlapping with outstanding misses.
+    core.now += static_cast<double>(acc.gap_instructions) / cfg.width * cycle_ns;
+    core.retired += acc.gap_instructions + 1;
+
+    // Retire completed misses.
+    auto& outstanding = core.outstanding;
+    while (!outstanding.empty() && outstanding.top().completes_at <= core.now) {
+      outstanding.pop();
+    }
+    // MLP cap: stall until a slot frees.
+    while (outstanding.size() >= cfg.max_outstanding_misses) {
+      core.now = std::max(core.now, outstanding.top().completes_at);
+      outstanding.pop();
+    }
+    // ROB run-ahead limit: the core cannot retire more than rob_size
+    // instructions past the oldest outstanding miss.
+    while (!outstanding.empty() &&
+           core.retired - outstanding.top().instr_at_issue > cfg.rob_size) {
+      core.now = std::max(core.now, outstanding.top().completes_at);
+      outstanding.pop();
+    }
+
+    const auto res = llc.access(acc.addr, acc.is_write);
+    const double service =
+        (acc.is_write ? cfg.llc_write_ns : cfg.llc_read_ns) + scrub_residual_ns;
+
+    if (res.hit) {
+      result.llc_busy_ns += service;
+      if (acc.is_write) {
+        // Stores complete through the store buffer: occupy the bank, no
+        // core stall.
+        llc_banks.occupy(res.bank, core.now, service);
+        ++result.llc_writes;
+      } else {
+        const double start = llc_banks.occupy(res.bank, core.now, service);
+        double done = start + service;
+        if (cfg.sudoku.enabled) {
+          done += cfg.sudoku.crc_check_cycles * cycle_ns;  // syndrome check
+          ++result.codec_events;
+        }
+        // A fraction of loads feed an immediately-dependent instruction
+        // and stall the core; the rest drain through the run-ahead window
+        // like short misses.
+        if (cfg.blocking_load_fraction > 0.0 &&
+            static_cast<double>(core.accesses % 100) <
+                cfg.blocking_load_fraction * 100.0) {
+          core.now = std::max(core.now, done);
+        } else {
+          outstanding.push({done, core.retired});
+        }
+        ++result.llc_reads;
+      }
+    } else {
+      // Miss: DRAM fetch, then fill (LLC write).
+      const double mem_done = dram_access(acc.addr, core.now, false);
+      llc_banks.occupy(res.bank, mem_done, cfg.llc_write_ns + scrub_residual_ns);
+      result.llc_busy_ns += cfg.llc_write_ns + scrub_residual_ns;
+      ++result.llc_writes;  // the fill
+      if (cfg.sudoku.enabled) ++result.codec_events;  // encode on fill
+      if (res.writeback) {
+        // Dirty victim: read it out and send to DRAM (fire-and-forget).
+        llc_banks.occupy(res.bank, core.now, cfg.llc_read_ns + scrub_residual_ns);
+        result.llc_busy_ns += cfg.llc_read_ns + scrub_residual_ns;
+        ++result.llc_reads;
+        dram_access(res.victim_addr, core.now, true);
+      }
+      outstanding.push({mem_done, core.retired});
+    }
+
+    // PLT mirror write on every write to the cache (store or fill).
+    if (cfg.sudoku.enabled && cfg.sudoku.plt_writes && (acc.is_write || !res.hit)) {
+      for (std::uint32_t p = 0; p < cfg.sudoku.num_plts; ++p) {
+        plt_banks.occupy(res.bank, core.now, cfg.sudoku.plt_write_ns);
+        result.plt_busy_ns += cfg.sudoku.plt_write_ns;
+      }
+      result.plt_writes += cfg.sudoku.num_plts;
+    }
+
+    if (core.retired >= cfg.instructions_per_core) {
+      while (!outstanding.empty()) {
+        core.now = std::max(core.now, outstanding.top().completes_at);
+        outstanding.pop();
+      }
+      core.done = true;
+    }
+  };
+
+  // Global loop: always advance the core that is furthest behind in time,
+  // so shared-state updates happen in (approximate) chronological order.
+  for (;;) {
+    CoreState* next = nullptr;
+    for (auto& core : cores) {
+      if (core.done) continue;
+      if (next == nullptr || core.now < next->now) next = &core;
+    }
+    if (next == nullptr) break;
+    step(*next);
+  }
+
+  for (std::uint32_t c = 0; c < cfg.num_cores; ++c) {
+    auto& cr = result.cores[c];
+    cr.benchmark = cores[c].name;
+    cr.instructions = cores[c].retired;
+    cr.llc_accesses = cores[c].accesses;
+    cr.finish_time_ns = cores[c].now;
+    cr.ipc = static_cast<double>(cores[c].retired) / (cores[c].now / cycle_ns);
+    result.total_time_ns = std::max(result.total_time_ns, cores[c].now);
+  }
+
+  // Scrub traffic volume for the energy model: every line read once per
+  // interval over the run.
+  if (cfg.sudoku.enabled) {
+    const double intervals = result.total_time_ns / (cfg.sudoku.scrub_interval_ms * 1e6);
+    result.scrub_reads =
+        static_cast<std::uint64_t>(intervals * static_cast<double>(cfg.llc.num_lines()));
+    result.codec_events += result.scrub_reads;
+  }
+
+  result.llc = llc.stats();
+  result.dram = dram.stats();
+  return result;
+}
+
+}  // namespace sudoku::sim

@@ -1,0 +1,67 @@
+#include "sim/trace_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sudoku::sim {
+
+TraceFileReader::TraceFileReader(const std::string& path) : path_(path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open trace file: " + path);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ss(line);
+    std::uint32_t gap;
+    std::string op;
+    std::string addr_hex;
+    if (!(ss >> gap)) continue;  // blank/comment-only line
+    if (!(ss >> op >> addr_hex) || (op != "R" && op != "W")) {
+      throw std::runtime_error(path + ":" + std::to_string(lineno) +
+                               ": expected '<gap> R|W <hexaddr>'");
+    }
+    LlcAccess acc;
+    acc.gap_instructions = gap;
+    acc.is_write = (op == "W");
+    acc.addr = std::stoull(addr_hex, nullptr, 16);
+    records_.push_back(acc);
+  }
+  if (records_.empty()) {
+    throw std::runtime_error("trace file has no records: " + path);
+  }
+}
+
+LlcAccess TraceFileReader::next() {
+  const LlcAccess acc = records_[pos_];
+  pos_ = (pos_ + 1) % records_.size();
+  return acc;
+}
+
+bool write_trace(const std::string& path, AccessSource& source, std::uint64_t count) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "# LLC access trace: <gap_instructions> <R|W> <hex_address>\n";
+  out << "# source: " << source.name() << "\n";
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const LlcAccess acc = source.next();
+    out << acc.gap_instructions << ' ' << (acc.is_write ? 'W' : 'R') << ' ' << std::hex
+        << acc.addr << std::dec << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+std::unique_ptr<AccessSource> make_source(const std::string& spec, std::uint32_t core_id,
+                                          std::uint64_t seed) {
+  constexpr const char kFilePrefix[] = "file:";
+  if (spec.rfind(kFilePrefix, 0) == 0) {
+    return std::make_unique<TraceFileReader>(spec.substr(sizeof(kFilePrefix) - 1));
+  }
+  return std::make_unique<GeneratorSource>(find_benchmark(spec), core_id, seed);
+}
+
+}  // namespace sudoku::sim

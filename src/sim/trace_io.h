@@ -1,0 +1,67 @@
+// Trace file I/O in a USIMM-like text format, so captured LLC traces can
+// replace the synthetic generators:
+//
+//   <gap_instructions> <R|W> <hex_address>
+//
+// one access per line, '#' comments allowed. The reader loops the file so
+// short traces can drive long simulations (as USIMM does on trace
+// exhaustion); the writer serialises any AccessSource, which also lets the
+// synthetic generators be materialised into files for inspection or reuse.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/workload.h"
+
+namespace sudoku::sim {
+
+// Polymorphic access stream: implemented by TraceGenerator (synthetic) and
+// TraceFileReader (recorded).
+class AccessSource {
+ public:
+  virtual ~AccessSource() = default;
+  virtual LlcAccess next() = 0;
+  virtual std::string name() const = 0;
+};
+
+class GeneratorSource final : public AccessSource {
+ public:
+  GeneratorSource(const BenchmarkProfile& profile, std::uint32_t core_id,
+                  std::uint64_t seed)
+      : gen_(profile, core_id, seed) {}
+  LlcAccess next() override { return gen_.next(); }
+  std::string name() const override { return gen_.profile().name; }
+
+ private:
+  TraceGenerator gen_;
+};
+
+class TraceFileReader final : public AccessSource {
+ public:
+  // Loads the whole trace into memory (traces at LLC granularity are small)
+  // and replays it cyclically. Throws std::runtime_error on parse errors.
+  explicit TraceFileReader(const std::string& path);
+
+  LlcAccess next() override;
+  std::string name() const override { return path_; }
+  std::size_t size() const { return records_.size(); }
+
+ private:
+  std::string path_;
+  std::vector<LlcAccess> records_;
+  std::size_t pos_ = 0;
+};
+
+// Write `count` accesses from a source to `path`. Returns false on I/O
+// failure.
+bool write_trace(const std::string& path, AccessSource& source, std::uint64_t count);
+
+// Resolve a benchmark spec to a source: "file:<path>" loads a trace file,
+// anything else looks up the synthetic roster by name.
+std::unique_ptr<AccessSource> make_source(const std::string& spec, std::uint32_t core_id,
+                                          std::uint64_t seed);
+
+}  // namespace sudoku::sim

@@ -1,0 +1,141 @@
+#include "sim/workload.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+
+namespace sudoku::sim {
+
+namespace {
+
+// Characterisation-level parameters per benchmark. Values are synthetic but
+// calibrated to the qualitative behaviour reported in SPEC2006/PARSEC
+// characterisation studies: mcf/lbm/milc are memory-bound with large
+// footprints; perlbench/povray/gamess barely touch the LLC; commercial
+// traces have high write fractions, etc.
+std::vector<BenchmarkProfile> build_roster() {
+  const std::uint64_t MB = (1ull << 20) / 64;  // lines per MB
+  return {
+      // ---- SPEC2006 ----
+      {"perlbench", "SPEC", 1.2, 0.30, 24 * MB, 0.85, 0.05, AccessPattern::kMixed},
+      {"bzip2", "SPEC", 4.1, 0.35, 48 * MB, 0.70, 0.10, AccessPattern::kMixed},
+      {"gcc", "SPEC", 7.5, 0.40, 64 * MB, 0.65, 0.08, AccessPattern::kMixed},
+      {"mcf", "SPEC", 32.0, 0.25, 420 * MB, 0.45, 0.02, AccessPattern::kIrregular},
+      {"milc", "SPEC", 18.5, 0.35, 340 * MB, 0.20, 0.05, AccessPattern::kStreaming},
+      {"gobmk", "SPEC", 2.1, 0.32, 28 * MB, 0.80, 0.06, AccessPattern::kMixed},
+      {"soplex", "SPEC", 14.2, 0.28, 230 * MB, 0.50, 0.04, AccessPattern::kMixed},
+      {"hmmer", "SPEC", 1.5, 0.45, 18 * MB, 0.90, 0.10, AccessPattern::kMixed},
+      {"sjeng", "SPEC", 1.8, 0.30, 170 * MB, 0.75, 0.03, AccessPattern::kIrregular},
+      {"libquantum", "SPEC", 25.0, 0.33, 32 * MB, 0.05, 0.50, AccessPattern::kStreaming},
+      {"h264ref", "SPEC", 2.4, 0.38, 26 * MB, 0.85, 0.12, AccessPattern::kMixed},
+      {"lbm", "SPEC", 28.0, 0.48, 400 * MB, 0.05, 0.50, AccessPattern::kStreaming},
+      {"omnetpp", "SPEC", 21.0, 0.35, 160 * MB, 0.55, 0.03, AccessPattern::kIrregular},
+      {"astar", "SPEC", 9.2, 0.30, 180 * MB, 0.60, 0.04, AccessPattern::kIrregular},
+      {"sphinx3", "SPEC", 12.5, 0.15, 180 * MB, 0.40, 0.06, AccessPattern::kStreaming},
+      {"xalancbmk", "SPEC", 10.8, 0.32, 190 * MB, 0.60, 0.03, AccessPattern::kIrregular},
+      {"GemsFDTD", "SPEC", 15.8, 0.40, 380 * MB, 0.15, 0.08, AccessPattern::kStreaming},
+      {"leslie3d", "SPEC", 13.1, 0.38, 120 * MB, 0.25, 0.08, AccessPattern::kStreaming},
+      {"zeusmp", "SPEC", 9.8, 0.37, 250 * MB, 0.30, 0.06, AccessPattern::kStreaming},
+      {"cactusADM", "SPEC", 8.4, 0.42, 190 * MB, 0.35, 0.05, AccessPattern::kStreaming},
+      {"bwaves", "SPEC", 17.5, 0.30, 430 * MB, 0.15, 0.05, AccessPattern::kStreaming},
+      // ---- PARSEC ----
+      {"blackscholes", "PARSEC", 1.1, 0.25, 12 * MB, 0.90, 0.15, AccessPattern::kMixed},
+      {"bodytrack", "PARSEC", 2.6, 0.28, 22 * MB, 0.80, 0.10, AccessPattern::kMixed},
+      {"canneal", "PARSEC", 19.5, 0.22, 450 * MB, 0.35, 0.01, AccessPattern::kIrregular},
+      {"dedup", "PARSEC", 8.1, 0.45, 280 * MB, 0.50, 0.04, AccessPattern::kMixed},
+      {"facesim", "PARSEC", 6.5, 0.40, 150 * MB, 0.55, 0.06, AccessPattern::kMixed},
+      {"ferret", "PARSEC", 5.2, 0.30, 90 * MB, 0.65, 0.05, AccessPattern::kMixed},
+      {"fluidanimate", "PARSEC", 4.8, 0.42, 130 * MB, 0.55, 0.07, AccessPattern::kMixed},
+      {"freqmine", "PARSEC", 3.9, 0.33, 110 * MB, 0.70, 0.05, AccessPattern::kMixed},
+      {"streamcluster", "PARSEC", 16.8, 0.12, 110 * MB, 0.10, 0.30, AccessPattern::kStreaming},
+      {"swaptions", "PARSEC", 0.9, 0.28, 6 * MB, 0.92, 0.20, AccessPattern::kMixed},
+      {"vips", "PARSEC", 3.4, 0.40, 70 * MB, 0.60, 0.08, AccessPattern::kStreaming},
+      {"x264", "PARSEC", 4.6, 0.36, 60 * MB, 0.70, 0.09, AccessPattern::kMixed},
+      // ---- BioBench ----
+      {"mummer", "BIO", 22.4, 0.18, 360 * MB, 0.30, 0.03, AccessPattern::kIrregular},
+      {"tigr", "BIO", 18.9, 0.20, 300 * MB, 0.35, 0.03, AccessPattern::kIrregular},
+      {"fasta-dna", "BIO", 11.2, 0.15, 200 * MB, 0.45, 0.05, AccessPattern::kStreaming},
+      // ---- MSC commercial ----
+      {"comm1", "COMM", 14.6, 0.45, 260 * MB, 0.55, 0.03, AccessPattern::kIrregular},
+      {"comm2", "COMM", 12.3, 0.48, 230 * MB, 0.58, 0.03, AccessPattern::kIrregular},
+      {"comm3", "COMM", 9.7, 0.50, 180 * MB, 0.62, 0.04, AccessPattern::kIrregular},
+      {"comm4", "COMM", 16.1, 0.44, 310 * MB, 0.50, 0.02, AccessPattern::kIrregular},
+      {"comm5", "COMM", 11.0, 0.47, 210 * MB, 0.60, 0.03, AccessPattern::kIrregular},
+  };
+}
+
+}  // namespace
+
+const std::vector<BenchmarkProfile>& benchmark_roster() {
+  static const std::vector<BenchmarkProfile> roster = build_roster();
+  return roster;
+}
+
+const BenchmarkProfile& find_benchmark(const std::string& name) {
+  for (const auto& b : benchmark_roster()) {
+    if (b.name == name) return b;
+  }
+  std::abort();  // unknown benchmark name is a programming error
+}
+
+TraceGenerator::TraceGenerator(const BenchmarkProfile& profile, std::uint32_t core_id,
+                               std::uint64_t seed)
+    : profile_(profile),
+      base_addr_(static_cast<std::uint64_t>(core_id) << 40),
+      rng_(seed * 0x9E3779B97F4A7C15ull + core_id + 1),
+      mean_gap_(1000.0 / profile.llc_apki) {
+  // The hot set models the LLC-resident reuse region. Cap it at 2 MB per
+  // core (32 K lines) so eight cores' hot sets fit a 64 MB LLC — larger
+  // "hot" regions behave like the streaming/scatter background anyway.
+  hot_lines_ = static_cast<std::uint64_t>(static_cast<double>(profile_.footprint_lines) *
+                                          profile_.hot_lines_frac);
+  hot_lines_ = std::min<std::uint64_t>(std::max<std::uint64_t>(hot_lines_, 1), 32768);
+}
+
+LlcAccess TraceGenerator::next() {
+  LlcAccess out;
+  // Geometric gap with the profile's mean (at least 0).
+  const double u = rng_.next_double();
+  out.gap_instructions =
+      static_cast<std::uint32_t>(-mean_gap_ * std::log(1.0 - u));
+  out.is_write = rng_.next_bool(profile_.write_frac);
+
+  const std::uint64_t footprint = profile_.footprint_lines;
+  std::uint64_t line = 0;
+  switch (profile_.pattern) {
+    case AccessPattern::kStreaming: {
+      // Mostly-sequential sweep with occasional hot-set references.
+      if (rng_.next_bool(profile_.hot_frac)) {
+        line = rng_.next_below(hot_lines_);
+      } else {
+        line = stream_pos_++ % footprint;
+      }
+      break;
+    }
+    case AccessPattern::kIrregular: {
+      // Hot set plus uniform scatter (pointer chasing has little spatial
+      // locality at LLC granularity).
+      if (rng_.next_bool(profile_.hot_frac)) {
+        line = rng_.next_below(hot_lines_);
+      } else {
+        line = rng_.next_below(footprint);
+      }
+      break;
+    }
+    case AccessPattern::kMixed: {
+      if (rng_.next_bool(profile_.hot_frac)) {
+        line = rng_.next_below(hot_lines_);
+      } else if (rng_.next_bool(0.5)) {
+        line = stream_pos_++ % footprint;
+      } else {
+        line = rng_.next_below(footprint);
+      }
+      break;
+    }
+  }
+  out.addr = base_addr_ + line * 64;
+  return out;
+}
+
+}  // namespace sudoku::sim

@@ -1,0 +1,91 @@
+// Flat bit-array holding the stored codewords of an STTRAM cache: N lines
+// of `bits_per_line` each (553 bits for SuDoku's data+CRC+ECC layout).
+// Storage is a single contiguous word vector (one million 553-bit lines
+// would otherwise mean one million small heap allocations).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.h"
+
+namespace sudoku {
+
+class SttramArray {
+ public:
+  SttramArray(std::uint64_t num_lines, std::uint32_t bits_per_line)
+      : num_lines_(num_lines),
+        bits_per_line_(bits_per_line),
+        words_per_line_((bits_per_line + 63) / 64),
+        words_(num_lines * words_per_line_, 0) {}
+
+  std::uint64_t num_lines() const { return num_lines_; }
+  std::uint32_t bits_per_line() const { return bits_per_line_; }
+
+  bool test(std::uint64_t line, std::uint32_t bit) const {
+    return (word(line, bit >> 6) >> (bit & 63)) & 1u;
+  }
+  void flip(std::uint64_t line, std::uint32_t bit) {
+    word(line, bit >> 6) ^= std::uint64_t{1} << (bit & 63);
+  }
+
+  // Copy a stored line out into a BitVec sized bits_per_line().
+  void read_line(std::uint64_t line, BitVec& out) const {
+    if (out.size() != bits_per_line_) out.resize(bits_per_line_);
+    auto w = out.words();
+    const std::uint64_t base = line * words_per_line_;
+    for (std::uint32_t i = 0; i < words_per_line_; ++i) w[i] = words_[base + i];
+    mask_tail(out);
+  }
+
+  BitVec read_line(std::uint64_t line) const {
+    BitVec v(bits_per_line_);
+    read_line(line, v);
+    return v;
+  }
+
+  void write_line(std::uint64_t line, const BitVec& in) {
+    auto w = in.words();
+    const std::uint64_t base = line * words_per_line_;
+    for (std::uint32_t i = 0; i < words_per_line_; ++i) words_[base + i] = w[i];
+  }
+
+  // XOR a stored line into an accumulator (used for parity computation).
+  void xor_line_into(std::uint64_t line, BitVec& acc) const {
+    auto w = acc.words();
+    const std::uint64_t base = line * words_per_line_;
+    for (std::uint32_t i = 0; i < words_per_line_; ++i) w[i] ^= words_[base + i];
+  }
+
+  bool line_equals(std::uint64_t line, const BitVec& v) const {
+    auto w = v.words();
+    const std::uint64_t base = line * words_per_line_;
+    for (std::uint32_t i = 0; i < words_per_line_; ++i)
+      if (words_[base + i] != w[i]) return false;
+    return true;
+  }
+
+  std::uint64_t total_bits() const { return num_lines_ * bits_per_line_; }
+
+ private:
+  std::uint64_t num_lines_;
+  std::uint32_t bits_per_line_;
+  std::uint32_t words_per_line_;
+  std::vector<std::uint64_t> words_;
+
+  std::uint64_t& word(std::uint64_t line, std::uint32_t wi) {
+    return words_[line * words_per_line_ + wi];
+  }
+  std::uint64_t word(std::uint64_t line, std::uint32_t wi) const {
+    return words_[line * words_per_line_ + wi];
+  }
+  void mask_tail(BitVec& v) const {
+    const std::uint32_t rem = bits_per_line_ & 63;
+    if (rem != 0) {
+      auto w = v.words();
+      w[words_per_line_ - 1] &= (std::uint64_t{1} << rem) - 1;
+    }
+  }
+};
+
+}  // namespace sudoku

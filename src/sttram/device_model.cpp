@@ -1,0 +1,40 @@
+#include "sttram/device_model.h"
+
+#include <cmath>
+
+#include "common/prob.h"
+
+namespace sudoku {
+
+double cell_flip_prob_fixed(double delta, double t_seconds, double f0_hz) {
+  const double lambda = f0_hz * std::exp(-delta);
+  return -std::expm1(-lambda * t_seconds);
+}
+
+double effective_ber(const ThermalParams& p, double t_seconds, int quad_order) {
+  const GaussHermite gh(quad_order);
+  const double sigma = p.sigma_frac * p.delta_mean;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < gh.nodes.size(); ++i) {
+    const double delta = p.delta_mean + sigma * gh.nodes[i];
+    acc += gh.weights[i] * cell_flip_prob_fixed(delta, t_seconds, p.f0_hz);
+  }
+  return acc;
+}
+
+double mean_flip_rate(const ThermalParams& p, int quad_order) {
+  const GaussHermite gh(quad_order);
+  const double sigma = p.sigma_frac * p.delta_mean;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < gh.nodes.size(); ++i) {
+    const double delta = p.delta_mean + sigma * gh.nodes[i];
+    acc += gh.weights[i] * p.f0_hz * std::exp(-delta);
+  }
+  return acc;
+}
+
+double mttf_cell_at_mean_delta(const ThermalParams& p) {
+  return 1.0 / (p.f0_hz * std::exp(-p.delta_mean));
+}
+
+}  // namespace sudoku

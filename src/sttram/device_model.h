@@ -1,0 +1,37 @@
+// STTRAM thermal-stability device model (paper §II-B, Eq. 1).
+//
+// A cell with thermal stability factor Delta flips due to thermal noise as
+// a Poisson process with rate lambda = f0 · e^(-Delta) (f0 = 1 GHz), so the
+// probability it flips within a window t is p = 1 − e^(−lambda·t).
+// Process variation makes Delta ~ Normal(mu, sigma_frac·mu); the effective
+// bit-error rate is the expectation of p over that distribution, which we
+// evaluate with Gauss–Hermite quadrature (the integrand is dominated by the
+// low-Delta tail, e.g. z ≈ −3.5 sigma at mu = 35).
+#pragma once
+
+#include <cstdint>
+
+namespace sudoku {
+
+struct ThermalParams {
+  double delta_mean = 35.0;   // 22 nm node default (paper)
+  double sigma_frac = 0.10;   // normalized std-dev of Delta
+  double f0_hz = 1e9;         // thermal attempt frequency
+};
+
+// Flip probability of a single cell with a *fixed* Delta over t seconds.
+double cell_flip_prob_fixed(double delta, double t_seconds, double f0_hz = 1e9);
+
+// Effective BER over t seconds with Delta ~ N(mean, sigma_frac·mean),
+// integrated by Gauss–Hermite quadrature (`quad_order` nodes).
+double effective_ber(const ThermalParams& p, double t_seconds, int quad_order = 64);
+
+// Mean flip rate E[lambda] across the Delta distribution (events/s/cell).
+// 1 / this is the population-average time for a cell to fail — the "about
+// one hour" figure of §I at Delta = 35, sigma = 10%.
+double mean_flip_rate(const ThermalParams& p, int quad_order = 64);
+
+// MTTF of a cell at exactly the mean Delta (the "18 days" figure of §I).
+double mttf_cell_at_mean_delta(const ThermalParams& p);
+
+}  // namespace sudoku

@@ -1,0 +1,38 @@
+#include "sttram/fault_injector.h"
+
+#include <algorithm>
+
+namespace sudoku {
+
+FaultBatch FaultInjector::sample_interval(Rng& rng) const {
+  FaultBatch batch;
+  const std::uint64_t total_bits = num_lines_ * bits_per_line_;
+  const std::uint64_t nfaults = rng.next_binomial(total_bits, ber_);
+  batch.reserve(nfaults);
+  for (std::uint64_t f = 0; f < nfaults; ++f) {
+    for (;;) {
+      const std::uint64_t pos = rng.next_below(total_bits);
+      const std::uint64_t line = pos / bits_per_line_;
+      const auto bit = static_cast<std::uint32_t>(pos % bits_per_line_);
+      auto& v = batch[line];
+      if (std::find(v.begin(), v.end(), bit) != v.end()) continue;  // re-draw
+      v.push_back(bit);
+      break;
+    }
+  }
+  return batch;
+}
+
+void FaultInjector::apply(const FaultBatch& batch, SttramArray& array) {
+  for (const auto& [line, bits] : batch) {
+    for (const auto b : bits) array.flip(line, b);
+  }
+}
+
+std::uint64_t FaultInjector::count(const FaultBatch& batch) {
+  std::uint64_t n = 0;
+  for (const auto& [line, bits] : batch) n += bits.size();
+  return n;
+}
+
+}  // namespace sudoku

@@ -1,0 +1,377 @@
+#include "sudoku/controller.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace sudoku {
+
+const char* to_string(SudokuLevel level) {
+  switch (level) {
+    case SudokuLevel::kX: return "SuDoku-X";
+    case SudokuLevel::kY: return "SuDoku-Y";
+    case SudokuLevel::kZ: return "SuDoku-Z";
+  }
+  return "?";
+}
+
+ScrubStats& ScrubStats::operator+=(const ScrubStats& o) {
+  lines_scanned += o.lines_scanned;
+  lines_clean += o.lines_clean;
+  ecc1_corrections += o.ecc1_corrections;
+  raid4_repairs += o.raid4_repairs;
+  sdr_repairs += o.sdr_repairs;
+  hash2_invocations += o.hash2_invocations;
+  groups_repaired += o.groups_repaired;
+  due_lines += o.due_lines;
+  due_line_ids.insert(due_line_ids.end(), o.due_line_ids.begin(), o.due_line_ids.end());
+  return *this;
+}
+
+SudokuController::SudokuController(const SudokuConfig& config)
+    : config_(config),
+      codec_(config.inner_ecc_t),
+      array_(config.geo.num_lines, LineCodec::kDataBits + LineCodec::kCrcBits + 10),
+      hash_(config.geo),
+      plt1_(config.geo.num_groups(), 0) {
+  // Geometry violations are programming errors but must fail loudly even
+  // in release builds — an invalid skewed hash silently corrupts memory.
+  if (!config_.geo.valid()) {
+    std::fprintf(stderr,
+                 "SudokuController: invalid geometry (lines=%llu group=%u); "
+                 "both must be powers of two with lines >= group\n",
+                 static_cast<unsigned long long>(config_.geo.num_lines),
+                 config_.geo.group_size);
+    std::abort();
+  }
+  if (config_.level == SudokuLevel::kZ && !config_.geo.supports_skewed_hash()) {
+    std::fprintf(stderr,
+                 "SudokuController: SuDoku-Z needs num_lines >= group_size^2 "
+                 "(lines=%llu group=%u) for disjoint Hash-2 groups\n",
+                 static_cast<unsigned long long>(config_.geo.num_lines),
+                 config_.geo.group_size);
+    std::abort();
+  }
+  // Re-create structures with the codec's real total width (the 10 above is
+  // a placeholder; the inner-code width depends on its strength).
+  const std::uint32_t width = codec_.total_bits();
+  array_ = SttramArray(config_.geo.num_lines, width);
+  plt1_ = ParityTable(config_.geo.num_groups(), width);
+  if (config_.level == SudokuLevel::kZ) {
+    plt2_.emplace(config_.geo.num_groups(), width);
+  }
+}
+
+ParityTable& SudokuController::plt(int which_hash) {
+  return which_hash == 1 ? plt1_ : *plt2_;
+}
+const ParityTable& SudokuController::plt(int which_hash) const {
+  return which_hash == 1 ? plt1_ : *plt2_;
+}
+
+std::vector<std::uint64_t> SudokuController::group_members(std::uint64_t group,
+                                                           int which_hash) const {
+  return which_hash == 1 ? hash_.members1(group) : hash_.members2(group);
+}
+
+void SudokuController::format(const std::function<BitVec(std::uint64_t)>& make_data) {
+  for (std::uint64_t line = 0; line < config_.geo.num_lines; ++line) {
+    array_.write_line(line, codec_.encode(make_data(line)));
+  }
+  rebuild_parities();
+}
+
+void SudokuController::format_zero() {
+  format([](std::uint64_t) { return BitVec(LineCodec::kDataBits); });
+}
+
+void SudokuController::format_random(Rng& rng) {
+  format([&rng](std::uint64_t) {
+    BitVec data(LineCodec::kDataBits);
+    auto words = data.words();
+    for (auto& w : words) w = rng.next_u64();
+    return data;
+  });
+}
+
+void SudokuController::rebuild_parities() {
+  const std::uint32_t width = codec_.total_bits();
+  BitVec acc(width);
+  for (std::uint64_t g = 0; g < config_.geo.num_groups(); ++g) {
+    acc.clear();
+    for (const auto line : hash_.members1(g)) array_.xor_line_into(line, acc);
+    plt1_.write(g, acc);
+  }
+  if (plt2_) {
+    for (std::uint64_t g = 0; g < config_.geo.num_groups(); ++g) {
+      acc.clear();
+      for (const auto line : hash_.members2(g)) array_.xor_line_into(line, acc);
+      plt2_->write(g, acc);
+    }
+  }
+}
+
+void SudokuController::write_data(std::uint64_t line, const BitVec& data) {
+  // First read-modify-write: the data line. The old value participates in
+  // the parity delta, so it must be a consistent codeword — correct it
+  // first; if it is beyond ECC-1, run the group repair machinery.
+  BitVec old = array_.read_line(line);
+  if (codec_.check_and_correct(old) == LineCodec::LineState::kUncorrectable) {
+    ScrubStats scratch;
+    if (config_.level == SudokuLevel::kZ) {
+      repair_group_skewed(hash_.group1(line), scratch);
+    } else {
+      repair_group(hash_.group1(line), 1, scratch);
+    }
+    old = array_.read_line(line);
+    // If the old line is still broken its data is already lost; the write
+    // overwrites it, and we must resynchronise parity the hard way below.
+  }
+  const BitVec fresh = codec_.encode(data);
+  const bool old_consistent = codec_.fully_clean(old);
+  array_.write_line(line, fresh);
+  if (old_consistent) {
+    // Second read-modify-write: PLT delta update (paper §III-B).
+    BitVec delta = old;
+    delta ^= fresh;
+    plt1_.apply_delta(hash_.group1(line), delta);
+    if (plt2_) plt2_->apply_delta(hash_.group2(line), delta);
+  } else {
+    // Rare fallback: rebuild the parities of the affected groups from the
+    // stored lines.
+    const std::uint32_t width = codec_.total_bits();
+    BitVec acc(width);
+    for (const auto l : hash_.members1(hash_.group1(line))) array_.xor_line_into(l, acc);
+    plt1_.write(hash_.group1(line), acc);
+    if (plt2_) {
+      acc.clear();
+      for (const auto l : hash_.members2(hash_.group2(line))) array_.xor_line_into(l, acc);
+      plt2_->write(hash_.group2(line), acc);
+    }
+  }
+}
+
+SudokuController::ReadResult SudokuController::read_data(std::uint64_t line) {
+  BitVec stored = array_.read_line(line);
+  switch (codec_.check_and_correct(stored)) {
+    case LineCodec::LineState::kClean:
+      return {codec_.extract_data(stored), ReadOutcome::kClean};
+    case LineCodec::LineState::kCorrected:
+      array_.write_line(line, stored);  // scrub-on-read of the fixed bit
+      return {codec_.extract_data(stored), ReadOutcome::kCorrected};
+    case LineCodec::LineState::kUncorrectable:
+      break;
+  }
+  ScrubStats scratch;
+  std::vector<std::uint64_t> losers;
+  if (config_.level == SudokuLevel::kZ) {
+    losers = repair_group_skewed(hash_.group1(line), scratch);
+  } else {
+    losers = repair_group(hash_.group1(line), 1, scratch);
+  }
+  if (std::find(losers.begin(), losers.end(), line) != losers.end()) {
+    return {BitVec(LineCodec::kDataBits), ReadOutcome::kDue};
+  }
+  stored = array_.read_line(line);
+  return {codec_.extract_data(stored), ReadOutcome::kRepaired};
+}
+
+bool SudokuController::raid4_reconstruct(std::uint64_t group, int which_hash,
+                                         std::uint64_t victim, ScrubStats& stats) {
+  // Effective parity over everything except the victim equals the victim's
+  // fault-free codeword — provided all other members are consistent.
+  BitVec acc = plt(which_hash).read(group);
+  for (const auto line : group_members(group, which_hash)) {
+    if (line != victim) array_.xor_line_into(line, acc);
+  }
+  if (!codec_.fully_clean(acc)) return false;
+  array_.write_line(victim, acc);
+  ++stats.raid4_repairs;
+  return true;
+}
+
+std::vector<std::uint64_t> SudokuController::repair_group(std::uint64_t group,
+                                                          int which_hash,
+                                                          ScrubStats& stats) {
+  const auto members = group_members(group, which_hash);
+
+  // Pass 1 (paper §III-C): fix every single-bit line with ECC-1.
+  std::vector<std::uint64_t> bad;
+  BitVec stored(codec_.total_bits());
+  for (const auto line : members) {
+    array_.read_line(line, stored);
+    switch (codec_.check_and_correct(stored)) {
+      case LineCodec::LineState::kClean:
+        break;
+      case LineCodec::LineState::kCorrected:
+        array_.write_line(line, stored);
+        ++stats.ecc1_corrections;
+        break;
+      case LineCodec::LineState::kUncorrectable:
+        bad.push_back(line);
+        break;
+    }
+  }
+  if (bad.empty()) return bad;
+  ++stats.groups_repaired;
+
+  if (bad.size() == 1) {
+    if (raid4_reconstruct(group, which_hash, bad[0], stats)) bad.clear();
+    return bad;
+  }
+
+  // Several multi-bit lines. SuDoku-X stops here.
+  if (config_.level == SudokuLevel::kX) return bad;
+
+  // SuDoku-Y: Sequential Data Resurrection (paper §IV). The parity
+  // mismatch positions are candidate faulty-bit locations; flipping one of
+  // a 2-fault line's bits makes the remainder ECC-1-correctable.
+  bool progress = true;
+  while (progress && bad.size() >= 2) {
+    progress = false;
+
+    BitVec mismatch = plt(which_hash).read(group);
+    for (const auto line : members) array_.xor_line_into(line, mismatch);
+    const std::uint32_t cap = config_.sdr_mismatch_cap();
+    const auto positions = mismatch.set_positions(cap + 1);
+    if (positions.empty() || positions.size() > cap) break;
+
+    for (auto it = bad.begin(); it != bad.end() && !progress; ++it) {
+      BitVec trial(codec_.total_bits());
+      for (const auto pos : positions) {
+        array_.read_line(*it, trial);
+        trial.flip(pos);
+        if (codec_.check_and_correct(trial) != LineCodec::LineState::kUncorrectable &&
+            codec_.fully_clean(trial)) {
+          array_.write_line(*it, trial);
+          ++stats.sdr_repairs;
+          bad.erase(it);
+          progress = true;  // mismatch positions changed; recompute
+          break;
+        }
+      }
+    }
+  }
+  if (bad.size() == 1) {
+    if (raid4_reconstruct(group, which_hash, bad[0], stats)) bad.clear();
+  }
+  return bad;
+}
+
+std::vector<std::uint64_t> SudokuController::repair_group_skewed(std::uint64_t group1,
+                                                                 ScrubStats& stats) {
+  auto bad = repair_group(group1, 1, stats);
+  while (!bad.empty()) {
+    // Try every surviving line under its Hash-2 group (paper §V-B). Any
+    // line repaired there shrinks the Hash-1 problem; iterate to a fixed
+    // point, since even one success can unlock RAID-4 for the remainder.
+    bool progress = false;
+    for (const auto line : bad) {
+      ++stats.hash2_invocations;
+      const auto left = repair_group(hash_.group2(line), 2, stats);
+      if (std::find(left.begin(), left.end(), line) == left.end()) progress = true;
+    }
+    if (!progress) break;
+    bad = repair_group(group1, 1, stats);
+  }
+  return bad;
+}
+
+ScrubStats SudokuController::scrub_lines(std::span<const std::uint64_t> lines) {
+  ScrubStats stats;
+  stats.lines_scanned = lines.size();
+
+  // Fast path: per-line check + ECC-1. Groups that still contain an
+  // uncorrectable line go through the RAID machinery once each.
+  std::unordered_set<std::uint64_t> pending_groups;
+  BitVec stored(codec_.total_bits());
+  for (const auto line : lines) {
+    array_.read_line(line, stored);
+    switch (codec_.check_and_correct(stored)) {
+      case LineCodec::LineState::kClean:
+        ++stats.lines_clean;
+        break;
+      case LineCodec::LineState::kCorrected:
+        array_.write_line(line, stored);
+        ++stats.ecc1_corrections;
+        break;
+      case LineCodec::LineState::kUncorrectable:
+        pending_groups.insert(hash_.group1(line));
+        break;
+    }
+  }
+
+  // Repair pending groups to a *global* fixed point: a line fixed through
+  // its Hash-2 group may unblock another pending Hash-1 group (and vice
+  // versa), so keep retrying failing groups while any pass makes progress.
+  std::unordered_map<std::uint64_t, std::size_t> failing;  // group -> #losers
+  for (const auto g : pending_groups) failing.emplace(g, SIZE_MAX);
+  bool progress = true;
+  while (progress && !failing.empty()) {
+    progress = false;
+    for (auto it = failing.begin(); it != failing.end();) {
+      std::vector<std::uint64_t> losers;
+      if (config_.level == SudokuLevel::kZ) {
+        losers = repair_group_skewed(it->first, stats);
+      } else {
+        losers = repair_group(it->first, 1, stats);
+      }
+      if (losers.empty()) {
+        it = failing.erase(it);
+        progress = true;
+      } else {
+        if (losers.size() < it->second) progress = true;
+        it->second = losers.size();
+        ++it;
+      }
+    }
+  }
+  // Whatever still fails is a detectable uncorrectable error.
+  for (const auto& [g, count] : failing) {
+    std::vector<std::uint64_t> losers;
+    if (config_.level == SudokuLevel::kZ) {
+      losers = repair_group_skewed(g, stats);
+    } else {
+      losers = repair_group(g, 1, stats);
+    }
+    for (const auto l : losers) {
+      ++stats.due_lines;
+      stats.due_line_ids.push_back(l);
+    }
+  }
+  return stats;
+}
+
+ScrubStats SudokuController::scrub_all() {
+  std::vector<std::uint64_t> all(config_.geo.num_lines);
+  for (std::uint64_t i = 0; i < all.size(); ++i) all[i] = i;
+  return scrub_lines(all);
+}
+
+std::uint64_t SudokuController::plt_storage_bits() const {
+  return plt1_.storage_bits() + (plt2_ ? plt2_->storage_bits() : 0);
+}
+
+bool SudokuController::parities_consistent() const {
+  BitVec acc(codec_.total_bits());
+  for (std::uint64_t g = 0; g < config_.geo.num_groups(); ++g) {
+    acc.clear();
+    for (const auto line : hash_.members1(g)) array_.xor_line_into(line, acc);
+    plt1_.xor_into(g, acc);
+    if (acc.any()) return false;
+  }
+  if (plt2_) {
+    for (std::uint64_t g = 0; g < config_.geo.num_groups(); ++g) {
+      acc.clear();
+      for (const auto line : hash_.members2(g)) array_.xor_line_into(line, acc);
+      plt2_->xor_into(g, acc);
+      if (acc.any()) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace sudoku

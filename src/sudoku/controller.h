@@ -1,0 +1,146 @@
+// The SuDoku cache-resilience controller (paper §III–§V). Owns the stored
+// STTRAM line array and the SRAM Parity Line Table(s), and implements the
+// three protection levels:
+//
+//   SuDoku-X : per-line ECC-1 + CRC-31 fast path; RAID-4 reconstruction of
+//              a single multi-bit-faulty line per RAID-Group.
+//   SuDoku-Y : + Sequential Data Resurrection (SDR) — use parity-mismatch
+//              positions to flip-and-try, turning 2-fault lines back into
+//              ECC-1-correctable ones; finish the last faulty line with
+//              RAID-4.
+//   SuDoku-Z : + skewed hashing — every line belongs to a second, disjoint
+//              RAID-Group; lines unrepairable under Hash-1 are retried
+//              under Hash-2, iterating to a fixed point.
+//
+// The controller exposes host read/write (with PLT delta maintenance) and
+// a scrub entry point used by the Monte-Carlo reliability harness and the
+// timing simulator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "common/rng.h"
+#include "raid/geometry.h"
+#include "raid/parity_table.h"
+#include "sttram/array.h"
+#include "sudoku/line_codec.h"
+
+namespace sudoku {
+
+enum class SudokuLevel { kX, kY, kZ };
+
+const char* to_string(SudokuLevel level);
+
+struct SudokuConfig {
+  RaidGeometry geo;
+  SudokuLevel level = SudokuLevel::kZ;
+  // Paper §IV-C: SDR is not attempted beyond this many parity mismatches.
+  // 0 = auto: 3·(inner_ecc_t + 1), i.e. the paper's six for ECC-1.
+  std::uint32_t max_sdr_mismatches = 0;
+  // §VII-G enhancement: strength of the per-line inner code (1 = the
+  // paper's ECC-1 default; 2 lets SDR resurrect 3-fault lines, etc.).
+  int inner_ecc_t = 1;
+
+  std::uint32_t sdr_mismatch_cap() const {
+    return max_sdr_mismatches != 0
+               ? max_sdr_mismatches
+               : 3u * (static_cast<std::uint32_t>(inner_ecc_t) + 1);
+  }
+};
+
+struct ScrubStats {
+  std::uint64_t lines_scanned = 0;
+  std::uint64_t lines_clean = 0;
+  std::uint64_t ecc1_corrections = 0;    // single-bit repairs
+  std::uint64_t raid4_repairs = 0;       // whole-line reconstructions
+  std::uint64_t sdr_repairs = 0;         // flip-and-try resurrections
+  std::uint64_t hash2_invocations = 0;   // times a Hash-2 group was tried
+  std::uint64_t groups_repaired = 0;     // groups needing RAID machinery
+  std::uint64_t due_lines = 0;           // declared uncorrectable
+  std::vector<std::uint64_t> due_line_ids;
+
+  ScrubStats& operator+=(const ScrubStats& o);
+};
+
+class SudokuController {
+ public:
+  explicit SudokuController(const SudokuConfig& config);
+
+  const SudokuConfig& config() const { return config_; }
+  const LineCodec& codec() const { return codec_; }
+  SttramArray& array() { return array_; }
+  const SttramArray& array() const { return array_; }
+  const SkewedHash& hash() const { return hash_; }
+
+  // ---- initialisation ----
+  // Fill every line with encoded data produced by `make_data(line)` and
+  // rebuild all parity tables.
+  void format(const std::function<BitVec(std::uint64_t)>& make_data);
+  void format_zero();
+  void format_random(Rng& rng);
+
+  // ---- host operations ----
+  // Write 512 data bits; performs the two read-modify-writes of §III-B
+  // (line + PLT delta; SuDoku-Z also updates the second PLT).
+  void write_data(std::uint64_t line, const BitVec& data);
+
+  enum class ReadOutcome {
+    kClean,       // CRC/ECC consistent on arrival
+    kCorrected,   // ECC-1 fixed it inline
+    kRepaired,    // needed RAID-4 / SDR / Hash-2 machinery
+    kDue,         // detectable uncorrectable error: data lost
+  };
+  struct ReadResult {
+    BitVec data;
+    ReadOutcome outcome = ReadOutcome::kClean;
+  };
+  ReadResult read_data(std::uint64_t line);
+
+  // ---- scrubbing ----
+  // Scrub only the given lines (sparse mode for fault-injection: untouched
+  // lines cannot have become inconsistent). Lines are de-duplicated by
+  // RAID-Group internally.
+  ScrubStats scrub_lines(std::span<const std::uint64_t> lines);
+  ScrubStats scrub_all();
+
+  // Parity storage cost in bits across all PLTs (§VII-H).
+  std::uint64_t plt_storage_bits() const;
+
+  // Verify PLT consistency against the stored array (test hook; O(cache)).
+  bool parities_consistent() const;
+
+ private:
+  SudokuConfig config_;
+  LineCodec codec_;
+  SttramArray array_;
+  SkewedHash hash_;
+  ParityTable plt1_;
+  std::optional<ParityTable> plt2_;  // only for SuDoku-Z
+
+  std::vector<std::uint64_t> group_members(std::uint64_t group, int which_hash) const;
+  ParityTable& plt(int which_hash);
+  const ParityTable& plt(int which_hash) const;
+
+  // Run the X/Y repair pipeline on one RAID-Group under the given hash.
+  // Single-bit lines are fixed and written back; then RAID-4 (one faulty
+  // line) or SDR (several) is attempted. Returns lines still uncorrectable.
+  std::vector<std::uint64_t> repair_group(std::uint64_t group, int which_hash,
+                                          ScrubStats& stats);
+
+  // Reconstruct `victim` from the other members + parity; returns true and
+  // writes the line back when the reconstruction validates.
+  bool raid4_reconstruct(std::uint64_t group, int which_hash, std::uint64_t victim,
+                         ScrubStats& stats);
+
+  // SuDoku-Z: fixed-point iteration between Hash-1 and Hash-2 groups.
+  std::vector<std::uint64_t> repair_group_skewed(std::uint64_t group1, ScrubStats& stats);
+
+  void rebuild_parities();
+};
+
+}  // namespace sudoku

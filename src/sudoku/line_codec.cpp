@@ -1,0 +1,88 @@
+#include "sudoku/line_codec.h"
+
+#include <cassert>
+
+namespace sudoku {
+
+LineCodec::LineCodec(int inner_ecc_t) : inner_t_(inner_ecc_t), crc_() {
+  assert(inner_ecc_t >= 1 && inner_ecc_t <= 6);
+  if (inner_ecc_t == 1) {
+    hamming_.emplace(kMessageBits);
+  } else {
+    bch_.emplace(10, inner_ecc_t, kMessageBits);
+  }
+}
+
+std::uint32_t LineCodec::ecc_bits() const {
+  return hamming_ ? static_cast<std::uint32_t>(hamming_->check_bits())
+                  : static_cast<std::uint32_t>(bch_->parity_bits());
+}
+
+BitVec LineCodec::encode(const BitVec& data) const {
+  assert(data.size() == kDataBits);
+  BitVec stored(total_bits());
+  for (std::uint32_t i = 0; i < kDataBits; ++i) {
+    if (data.test(i)) stored.set(i);
+  }
+  const std::uint32_t crc = crc_.compute(data, kDataBits);
+  for (std::uint32_t b = 0; b < kCrcBits; ++b) {
+    stored.assign(kDataBits + b, (crc >> b) & 1u);
+  }
+  if (hamming_) {
+    hamming_->encode(stored);
+  } else {
+    bch_->encode(stored);
+  }
+  return stored;
+}
+
+BitVec LineCodec::extract_data(const BitVec& stored) const {
+  BitVec data(kDataBits);
+  for (std::uint32_t i = 0; i < kDataBits; ++i) {
+    if (stored.test(i)) data.set(i);
+  }
+  return data;
+}
+
+bool LineCodec::crc_ok(const BitVec& stored) const {
+  const std::uint32_t computed = crc_.compute(stored, kDataBits);
+  std::uint32_t held = 0;
+  for (std::uint32_t b = 0; b < kCrcBits; ++b) {
+    if (stored.test(kDataBits + b)) held |= 1u << b;
+  }
+  return computed == held;
+}
+
+bool LineCodec::inner_syndrome_clean(const BitVec& stored) const {
+  if (hamming_) return hamming_->syndrome(stored) == 0;
+  // For BCH, "clean" means a decode reports no errors; checking syndromes
+  // without mutating is what decode does on a copy.
+  BitVec copy = stored;
+  return bch_->decode(copy).status == Bch::DecodeStatus::kClean;
+}
+
+bool LineCodec::fully_clean(const BitVec& stored) const {
+  return inner_syndrome_clean(stored) && crc_ok(stored);
+}
+
+LineCodec::LineState LineCodec::check_and_correct(BitVec& stored) const {
+  if (fully_clean(stored)) return LineState::kClean;
+  // One shot of the inner code, then re-validate everything. Work on a
+  // copy so an unsuccessful (mis)correction does not dirty the stored line.
+  BitVec trial = stored;
+  bool corrected = false;
+  if (hamming_) {
+    corrected = hamming_->decode(trial) == Hamming::DecodeStatus::kCorrected;
+  } else {
+    corrected = bch_->decode(trial).status == Bch::DecodeStatus::kCorrected;
+  }
+  if (corrected && fully_clean(trial)) {
+    stored = trial;
+    return LineState::kCorrected;
+  }
+  // Note: a clean inner syndrome with a failing CRC (faults aliasing to
+  // syndrome 0) also lands here.
+  return LineState::kUncorrectable;
+}
+
+}  // namespace sudoku

@@ -1,0 +1,51 @@
+#include "sudoku/storage.h"
+
+namespace sudoku {
+
+namespace {
+constexpr double kCrcBits = 31.0;
+// Stored line width for a SuDoku-style line with inner ECC-t.
+double line_bits(int inner_t) { return 512.0 + kCrcBits + 10.0 * inner_t; }
+}  // namespace
+
+StorageBreakdown sudoku_storage(std::uint64_t num_lines, std::uint32_t group_size,
+                                std::uint32_t num_plts, int inner_t) {
+  StorageBreakdown s;
+  s.crc_bits = kCrcBits;
+  s.ecc_bits = 10.0 * inner_t;
+  s.parity_bits_amortized = num_plts * line_bits(inner_t) / group_size;
+  const double parity_lines = static_cast<double>(num_lines) / group_size * num_plts;
+  s.sram_bytes_total = parity_lines * line_bits(inner_t) / 8.0;
+  return s;
+}
+
+StorageBreakdown ecc_k_storage(int k) {
+  StorageBreakdown s;
+  s.ecc_bits = 10.0 * k;
+  return s;
+}
+
+StorageBreakdown hi_ecc_storage(int t) {
+  StorageBreakdown s;
+  s.ecc_bits = 14.0 * t / 16.0;  // 84 bits per 16-line region at t=6
+  return s;
+}
+
+StorageBreakdown cppc_storage(std::uint64_t num_lines) {
+  StorageBreakdown s;
+  s.crc_bits = kCrcBits;
+  s.ecc_bits = 10.0;
+  s.parity_bits_amortized = line_bits(1) / static_cast<double>(num_lines);
+  s.sram_bytes_total = line_bits(1) / 8.0;
+  return s;
+}
+
+StorageBreakdown raid6_storage(std::uint32_t group_size) {
+  StorageBreakdown s;
+  s.crc_bits = kCrcBits;
+  s.ecc_bits = 10.0;
+  s.parity_bits_amortized = 2.0 * line_bits(1) / group_size;
+  return s;
+}
+
+}  // namespace sudoku

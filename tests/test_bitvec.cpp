@@ -1,0 +1,141 @@
+#include "common/bitvec.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace sudoku {
+namespace {
+
+TEST(BitVec, StartsZeroed) {
+  BitVec v(553);
+  EXPECT_EQ(v.size(), 553u);
+  EXPECT_TRUE(v.none());
+  EXPECT_EQ(v.popcount(), 0u);
+}
+
+TEST(BitVec, SetResetFlipTest) {
+  BitVec v(100);
+  v.set(0);
+  v.set(63);
+  v.set(64);
+  v.set(99);
+  EXPECT_TRUE(v.test(0));
+  EXPECT_TRUE(v.test(63));
+  EXPECT_TRUE(v.test(64));
+  EXPECT_TRUE(v.test(99));
+  EXPECT_FALSE(v.test(1));
+  EXPECT_EQ(v.popcount(), 4u);
+  v.reset(63);
+  EXPECT_FALSE(v.test(63));
+  v.flip(63);
+  EXPECT_TRUE(v.test(63));
+  v.flip(63);
+  EXPECT_FALSE(v.test(63));
+  EXPECT_EQ(v.popcount(), 3u);
+}
+
+TEST(BitVec, AssignMatchesSetReset) {
+  BitVec v(10);
+  v.assign(3, true);
+  EXPECT_TRUE(v.test(3));
+  v.assign(3, false);
+  EXPECT_FALSE(v.test(3));
+}
+
+TEST(BitVec, XorIsSelfInverse) {
+  Rng rng(7);
+  BitVec a(553), b(553);
+  for (int i = 0; i < 100; ++i) a.flip(rng.next_below(553));
+  for (int i = 0; i < 100; ++i) b.flip(rng.next_below(553));
+  BitVec c = a;
+  c ^= b;
+  c ^= b;
+  EXPECT_EQ(c, a);
+}
+
+TEST(BitVec, XorComputesSymmetricDifference) {
+  BitVec a(8), b(8);
+  a.set(1);
+  a.set(2);
+  b.set(2);
+  b.set(3);
+  const BitVec c = a ^ b;
+  EXPECT_TRUE(c.test(1));
+  EXPECT_FALSE(c.test(2));
+  EXPECT_TRUE(c.test(3));
+  EXPECT_EQ(c.popcount(), 2u);
+}
+
+TEST(BitVec, SetPositionsAscending) {
+  BitVec v(553);
+  v.set(5);
+  v.set(64);
+  v.set(552);
+  const auto pos = v.set_positions();
+  ASSERT_EQ(pos.size(), 3u);
+  EXPECT_EQ(pos[0], 5u);
+  EXPECT_EQ(pos[1], 64u);
+  EXPECT_EQ(pos[2], 552u);
+}
+
+TEST(BitVec, SetPositionsHonorsLimit) {
+  BitVec v(100);
+  for (int i = 0; i < 20; ++i) v.set(i * 5);
+  EXPECT_EQ(v.set_positions(7).size(), 7u);
+  EXPECT_EQ(v.set_positions(0).size(), 20u);
+}
+
+TEST(BitVec, DistanceCountsDifferingBits) {
+  BitVec a(64), b(64);
+  a.set(0);
+  a.set(10);
+  b.set(10);
+  b.set(20);
+  EXPECT_EQ(a.distance(b), 2u);
+  EXPECT_EQ(a.distance(a), 0u);
+}
+
+TEST(BitVec, ClearZeroesEverything) {
+  BitVec v(130);
+  v.set(0);
+  v.set(129);
+  v.clear();
+  EXPECT_TRUE(v.none());
+  EXPECT_EQ(v.size(), 130u);
+}
+
+TEST(BitVec, ResizePreservesPrefix) {
+  BitVec v(64);
+  v.set(10);
+  v.resize(128);
+  EXPECT_TRUE(v.test(10));
+  EXPECT_FALSE(v.test(100));
+  EXPECT_EQ(v.size(), 128u);
+}
+
+TEST(BitVec, EqualityIsValueBased) {
+  BitVec a(65), b(65);
+  EXPECT_EQ(a, b);
+  a.set(64);
+  EXPECT_NE(a, b);
+  b.set(64);
+  EXPECT_EQ(a, b);
+}
+
+TEST(BitVec, AnyReflectsContents) {
+  BitVec v(553);
+  EXPECT_FALSE(v.any());
+  v.set(552);
+  EXPECT_TRUE(v.any());
+}
+
+TEST(BitVec, ToStringMatchesBits) {
+  BitVec v(4);
+  v.set(1);
+  v.set(3);
+  EXPECT_EQ(v.to_string(), "0101");
+}
+
+}  // namespace
+}  // namespace sudoku

@@ -1,0 +1,143 @@
+#include "cache/cache_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace sudoku::cache {
+namespace {
+
+CacheConfig tiny_config() {
+  CacheConfig c;
+  c.size_bytes = 64 * 1024;  // 64 KB: 128 sets × 8 ways
+  return c;
+}
+
+TEST(CacheModel, GeometryMatchesTableVI) {
+  CacheConfig c;  // defaults = paper's LLC
+  EXPECT_EQ(c.num_lines(), 1u << 20);
+  EXPECT_EQ(c.num_sets(), 131072u);
+  EXPECT_EQ(c.ways, 8u);
+}
+
+TEST(CacheModel, FirstAccessMissesThenHits) {
+  CacheModel cache(tiny_config());
+  const auto miss = cache.access(0x1000, false);
+  EXPECT_FALSE(miss.hit);
+  const auto hit = cache.access(0x1000, false);
+  EXPECT_TRUE(hit.hit);
+  EXPECT_EQ(hit.line_index, miss.line_index);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(CacheModel, SameLineDifferentBytesHit) {
+  CacheModel cache(tiny_config());
+  cache.access(0x1000, false);
+  EXPECT_TRUE(cache.access(0x103F, false).hit);   // same 64 B block
+  EXPECT_FALSE(cache.access(0x1040, false).hit);  // next block
+}
+
+TEST(CacheModel, LruEvictsOldest) {
+  CacheConfig cfg = tiny_config();
+  CacheModel cache(cfg);
+  // Fill one set (ways + 1 distinct tags mapping to set 0).
+  const std::uint64_t set_stride = cfg.num_sets() * cfg.line_bytes;
+  for (std::uint32_t i = 0; i <= cfg.ways; ++i) {
+    cache.access(i * set_stride, false);
+  }
+  // Tag 0 was oldest and must be gone; tag 1..ways still resident.
+  EXPECT_FALSE(cache.contains(0));
+  for (std::uint32_t i = 1; i <= cfg.ways; ++i) {
+    EXPECT_TRUE(cache.contains(i * set_stride)) << i;
+  }
+}
+
+TEST(CacheModel, TouchRefreshesLru) {
+  CacheConfig cfg = tiny_config();
+  CacheModel cache(cfg);
+  const std::uint64_t set_stride = cfg.num_sets() * cfg.line_bytes;
+  for (std::uint32_t i = 0; i < cfg.ways; ++i) cache.access(i * set_stride, false);
+  cache.access(0, false);                       // refresh tag 0
+  cache.access(cfg.ways * set_stride, false);   // evicts tag 1, not 0
+  EXPECT_TRUE(cache.contains(0));
+  EXPECT_FALSE(cache.contains(set_stride));
+}
+
+TEST(CacheModel, DirtyEvictionSignalsWriteback) {
+  CacheConfig cfg = tiny_config();
+  CacheModel cache(cfg);
+  const std::uint64_t set_stride = cfg.num_sets() * cfg.line_bytes;
+  cache.access(0, true);  // dirty
+  for (std::uint32_t i = 1; i <= cfg.ways; ++i) {
+    const auto res = cache.access(i * set_stride, false);
+    if (i == cfg.ways) {
+      EXPECT_TRUE(res.writeback);
+      EXPECT_EQ(res.victim_addr, 0u);
+    } else {
+      EXPECT_FALSE(res.writeback);
+    }
+  }
+  EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(CacheModel, CleanEvictionNoWriteback) {
+  CacheConfig cfg = tiny_config();
+  CacheModel cache(cfg);
+  const std::uint64_t set_stride = cfg.num_sets() * cfg.line_bytes;
+  for (std::uint32_t i = 0; i <= cfg.ways; ++i) {
+    EXPECT_FALSE(cache.access(i * set_stride, false).writeback);
+  }
+}
+
+TEST(CacheModel, WriteHitMarksDirty) {
+  CacheConfig cfg = tiny_config();
+  CacheModel cache(cfg);
+  const std::uint64_t set_stride = cfg.num_sets() * cfg.line_bytes;
+  cache.access(0, false);      // clean fill
+  cache.access(0, true);       // write hit -> dirty
+  for (std::uint32_t i = 1; i <= cfg.ways; ++i) cache.access(i * set_stride, false);
+  EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(CacheModel, LineIndexStableAndInRange) {
+  CacheConfig cfg = tiny_config();
+  CacheModel cache(cfg);
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t addr = rng.next_below(1u << 26);
+    const auto res = cache.access(addr, rng.next_bool(0.3));
+    EXPECT_LT(res.line_index, cfg.num_lines());
+  }
+}
+
+TEST(CacheModel, HitRateHighForSmallFootprint) {
+  CacheModel cache(tiny_config());
+  Rng rng(2);
+  for (int i = 0; i < 50000; ++i) {
+    cache.access(rng.next_below(32 * 1024) & ~63ull, false);  // fits in half
+  }
+  EXPECT_GT(cache.stats().hit_rate(), 0.95);
+}
+
+TEST(CacheModel, HitRateLowForHugeFootprint) {
+  CacheModel cache(tiny_config());
+  Rng rng(3);
+  for (int i = 0; i < 50000; ++i) {
+    cache.access(rng.next_below(1u << 28) & ~63ull, false);  // 4096x cache
+  }
+  EXPECT_LT(cache.stats().hit_rate(), 0.05);
+}
+
+TEST(CacheModel, BankMappingCoversAllBanks) {
+  CacheConfig cfg = tiny_config();
+  CacheModel cache(cfg);
+  std::vector<int> seen(cfg.banks, 0);
+  for (std::uint64_t line = 0; line < 1024; ++line) {
+    ++seen[cache.bank_of(line * cfg.line_bytes)];
+  }
+  for (const auto s : seen) EXPECT_EQ(s, 1024 / static_cast<int>(cfg.banks));
+}
+
+}  // namespace
+}  // namespace sudoku::cache

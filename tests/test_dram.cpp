@@ -1,0 +1,169 @@
+#include "sim/dram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace sudoku::sim {
+namespace {
+
+DramConfig small_config() {
+  DramConfig c;
+  return c;  // defaults = Table VI DDR3-800 x2
+}
+
+TEST(Dram, DecodeSeparatesChannelsByBlock) {
+  DramModel dram(small_config());
+  const auto a = dram.decode(0);
+  const auto b = dram.decode(64);
+  EXPECT_NE(a.channel, b.channel);  // consecutive blocks alternate channels
+  EXPECT_EQ(dram.decode(128).channel, a.channel);
+}
+
+TEST(Dram, DecodeFieldsInRange) {
+  DramModel dram(small_config());
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const auto d = dram.decode(rng.next_u64() >> 20);
+    EXPECT_LT(d.channel, 2u);
+    EXPECT_LT(d.rank, 2u);
+    EXPECT_LT(d.bank, 8u);
+  }
+}
+
+TEST(Dram, RowHitIsFasterThanRowMiss) {
+  DramConfig cfg = small_config();
+  DramModel dram(cfg);
+  // Same bank, same row: stride over all channels/banks/ranks hits the
+  // next block of bank 0's row 0.
+  const std::uint64_t same_row_stride =
+      64ull * cfg.channels * cfg.banks_per_rank * cfg.ranks_per_channel;
+  const double t0 = dram.access(0, 0.0, false);                      // cold
+  const double t1 = dram.access(same_row_stride, t0, false) - t0;    // hit
+  EXPECT_GT(t0, t1);  // first access pays tRCD on top
+  EXPECT_EQ(dram.stats().row_hits, 1u);
+  EXPECT_EQ(dram.stats().row_misses, 1u);
+}
+
+TEST(Dram, RowConflictPaysPrecharge) {
+  DramConfig cfg = small_config();
+  DramModel dram(cfg);
+  // Two different rows of the same bank: second access must be the slowest
+  // of the three access types.
+  const std::uint64_t row_stride =
+      64ull * cfg.channels * cfg.banks_per_rank * cfg.ranks_per_channel *
+      (cfg.row_bytes / 64);
+  const double t0 = dram.access(0, 0.0, false);
+  const double start2 = t0 + 1.0;
+  const double t_conflict = dram.access(row_stride, start2, false) - start2;
+  EXPECT_EQ(dram.stats().row_conflicts, 1u);
+  // Conflict latency >= tRP + tRCD + tCAS + burst.
+  const auto& T = cfg.timing;
+  EXPECT_GE(t_conflict, T.tRP + T.tRCD + T.tCAS + T.tBurst - 1e-9);
+}
+
+TEST(Dram, LatencyIsReasonableForDdr3) {
+  // A cold access should land in the 60-120 ns range typical of DDR3-800.
+  DramModel dram(small_config());
+  const double t = dram.access(0, 0.0, false);
+  EXPECT_GT(t, 50.0);
+  EXPECT_LT(t, 150.0);
+}
+
+TEST(Dram, BusSerializesBursts) {
+  DramModel dram(small_config());
+  // Two simultaneous accesses to the same channel but different banks: the
+  // data bursts cannot overlap on the shared bus.
+  const std::uint64_t bank_stride = 64ull * 2;  // next bank, same channel
+  const double t_a = dram.access(0, 0.0, false);
+  const double t_b = dram.access(bank_stride, 0.0, false);
+  EXPECT_GE(std::abs(t_b - t_a), small_config().timing.tBurst - 1e-9);
+}
+
+TEST(Dram, ChannelsAreIndependent) {
+  DramModel dram(small_config());
+  const double t_a = dram.access(0, 0.0, false);    // channel 0
+  const double t_b = dram.access(64, 0.0, false);   // channel 1
+  EXPECT_NEAR(t_a, t_b, 1e-9);  // no shared resources between them
+}
+
+TEST(Dram, TfawLimitsActivateBursts) {
+  DramConfig cfg = small_config();
+  cfg.ranks_per_channel = 1;
+  DramModel dram(cfg);
+  // Five activates to distinct banks of one rank at t=0: the fifth must be
+  // pushed past tFAW.
+  double last = 0.0;
+  for (int b = 0; b < 5; ++b) {
+    const std::uint64_t addr = 64ull * 2 * b;  // same channel, banks 0..4
+    last = dram.access(addr, 0.0, false);
+  }
+  EXPECT_GE(last, cfg.timing.tFAW);
+}
+
+TEST(Dram, RefreshEventuallyBlocksBank) {
+  DramConfig cfg = small_config();
+  DramModel dram(cfg);
+  dram.access(0, 0.0, false);
+  // Jump far past several tREFI periods; refreshes must have been applied.
+  dram.access(0, 10 * cfg.timing.tREFI, false);
+  EXPECT_GT(dram.stats().refreshes_applied, 5u);
+}
+
+TEST(Dram, StreamingEnjoysHighRowHitRate) {
+  // A sequential sweep touches one row per bank; hits dominate, with the
+  // residual misses caused by periodic refreshes closing rows (the serial
+  // issue pattern here stretches the sweep across many tREFI periods).
+  DramModel dram(small_config());
+  double t = 0.0;
+  for (std::uint64_t addr = 0; addr < 64 * 4096; addr += 64) {
+    t = dram.access(addr, t, false);
+  }
+  EXPECT_GT(dram.stats().row_hit_rate(), 0.75);
+  EXPECT_GT(dram.stats().refreshes_applied, 0u);
+}
+
+TEST(Dram, RandomTrafficHasLowRowHitRate) {
+  DramModel dram(small_config());
+  Rng rng(2);
+  double t = 0.0;
+  for (int i = 0; i < 4096; ++i) {
+    t = dram.access((rng.next_u64() >> 24) & ~63ull, t, false);
+  }
+  EXPECT_LT(dram.stats().row_hit_rate(), 0.3);
+}
+
+TEST(Dram, WritesAddRecoveryTime) {
+  // tWR only matters once tRAS is already satisfied, so open the row first
+  // (cold miss), then do a row-hit access (read vs write), then force a
+  // conflict: the post-write precharge must wait out the recovery.
+  DramConfig cfg = small_config();
+  DramModel w(cfg), r(cfg);
+  const std::uint64_t same_row =
+      64ull * cfg.channels * cfg.banks_per_rank * cfg.ranks_per_channel;
+  const std::uint64_t row_stride = same_row * (cfg.row_bytes / 64);
+  const double t0w = w.access(0, 0.0, false);
+  const double t0r = r.access(0, 0.0, false);
+  const double tw = w.access(same_row, t0w, true);    // row-hit write
+  const double tr = r.access(same_row, t0r, false);   // row-hit read
+  EXPECT_NEAR(tw, tr, 1e-9);  // data completion identical...
+  // ...but the write leaves the bank busy for tWR longer.
+  const double after_w = w.access(row_stride, tw, false);
+  const double after_r = r.access(row_stride, tr, false);
+  EXPECT_GT(after_w, after_r);
+}
+
+TEST(Dram, MonotoneUnderLoad) {
+  // Completion times never go backwards for a serially-dependent stream.
+  DramModel dram(small_config());
+  Rng rng(3);
+  double t = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    const double done = dram.access((rng.next_u64() >> 26) & ~63ull, t, rng.next_bool(0.3));
+    ASSERT_GE(done, t);
+    t = done;
+  }
+}
+
+}  // namespace
+}  // namespace sudoku::sim

@@ -1,0 +1,144 @@
+#include "sttram/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace sudoku {
+namespace {
+
+TEST(SttramArray, ReadWriteRoundTrip) {
+  SttramArray arr(16, 553);
+  BitVec v(553);
+  v.set(0);
+  v.set(511);
+  v.set(552);
+  arr.write_line(7, v);
+  EXPECT_EQ(arr.read_line(7), v);
+  EXPECT_TRUE(arr.read_line(6).none());
+}
+
+TEST(SttramArray, FlipAndTest) {
+  SttramArray arr(4, 553);
+  EXPECT_FALSE(arr.test(2, 100));
+  arr.flip(2, 100);
+  EXPECT_TRUE(arr.test(2, 100));
+  arr.flip(2, 100);
+  EXPECT_FALSE(arr.test(2, 100));
+}
+
+TEST(SttramArray, LinesAreIndependent) {
+  SttramArray arr(8, 553);
+  arr.flip(3, 552);
+  for (std::uint64_t l = 0; l < 8; ++l) {
+    if (l == 3) continue;
+    EXPECT_TRUE(arr.read_line(l).none()) << l;
+  }
+}
+
+TEST(SttramArray, XorLineIntoAccumulates) {
+  SttramArray arr(4, 100);
+  BitVec a(100), b(100);
+  a.set(5);
+  a.set(50);
+  b.set(50);
+  b.set(99);
+  arr.write_line(0, a);
+  arr.write_line(1, b);
+  BitVec acc(100);
+  arr.xor_line_into(0, acc);
+  arr.xor_line_into(1, acc);
+  EXPECT_TRUE(acc.test(5));
+  EXPECT_FALSE(acc.test(50));
+  EXPECT_TRUE(acc.test(99));
+}
+
+TEST(SttramArray, LineEquals) {
+  SttramArray arr(2, 64);
+  BitVec v(64);
+  v.set(63);
+  arr.write_line(1, v);
+  EXPECT_TRUE(arr.line_equals(1, v));
+  v.flip(0);
+  EXPECT_FALSE(arr.line_equals(1, v));
+}
+
+TEST(FaultInjector, CountMatchesBatchContents) {
+  Rng rng(1);
+  FaultInjector inj(1024, 553, 1e-4);
+  const auto batch = inj.sample_interval(rng);
+  std::uint64_t manual = 0;
+  for (const auto& [line, bits] : batch) manual += bits.size();
+  EXPECT_EQ(FaultInjector::count(batch), manual);
+}
+
+TEST(FaultInjector, MeanFaultCountMatchesBer) {
+  Rng rng(2);
+  const std::uint64_t lines = 4096;
+  const std::uint32_t bits = 553;
+  const double ber = 1e-4;
+  FaultInjector inj(lines, bits, ber);
+  double total = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) total += static_cast<double>(FaultInjector::count(inj.sample_interval(rng)));
+  const double expected = static_cast<double>(lines) * bits * ber;
+  EXPECT_NEAR(total / trials, expected, expected * 0.1);
+}
+
+TEST(FaultInjector, PositionsAreInRange) {
+  Rng rng(3);
+  FaultInjector inj(128, 553, 1e-3);
+  const auto batch = inj.sample_interval(rng);
+  for (const auto& [line, bitsv] : batch) {
+    EXPECT_LT(line, 128u);
+    for (const auto b : bitsv) EXPECT_LT(b, 553u);
+  }
+}
+
+TEST(FaultInjector, NoDuplicateBitWithinLine) {
+  Rng rng(4);
+  FaultInjector inj(4, 64, 0.2);  // dense enough to force collisions
+  for (int t = 0; t < 50; ++t) {
+    const auto batch = inj.sample_interval(rng);
+    for (const auto& [line, bitsv] : batch) {
+      auto sorted = bitsv;
+      std::sort(sorted.begin(), sorted.end());
+      EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end());
+    }
+  }
+}
+
+TEST(FaultInjector, ApplyFlipsExactlyTheBatch) {
+  Rng rng(5);
+  SttramArray arr(64, 553);
+  FaultInjector inj(64, 553, 1e-3);
+  const auto batch = inj.sample_interval(rng);
+  FaultInjector::apply(batch, arr);
+  std::uint64_t set_bits = 0;
+  for (std::uint64_t l = 0; l < 64; ++l) set_bits += arr.read_line(l).popcount();
+  EXPECT_EQ(set_bits, FaultInjector::count(batch));
+  // Applying again cancels everything.
+  FaultInjector::apply(batch, arr);
+  for (std::uint64_t l = 0; l < 64; ++l) EXPECT_TRUE(arr.read_line(l).none());
+}
+
+TEST(FaultInjector, ZeroBerProducesNoFaults) {
+  Rng rng(6);
+  FaultInjector inj(1024, 553, 0.0);
+  EXPECT_TRUE(inj.sample_interval(rng).empty());
+}
+
+TEST(FaultInjector, FaultsSpreadAcrossLines) {
+  Rng rng(7);
+  const std::uint64_t lines = 1u << 16;
+  FaultInjector inj(lines, 553, 3e-5);  // ~1000 faults, mostly distinct lines
+  const auto batch = inj.sample_interval(rng);
+  std::uint64_t multi = 0;
+  for (const auto& [line, bitsv] : batch)
+    if (bitsv.size() >= 2) ++multi;
+  // Multi-fault lines must be a small minority (birthday-problem level).
+  EXPECT_LT(multi * 20, batch.size() + 1);
+}
+
+}  // namespace
+}  // namespace sudoku

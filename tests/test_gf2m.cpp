@@ -1,0 +1,102 @@
+#include "codes/gf2m.h"
+
+#include <gtest/gtest.h>
+
+namespace sudoku {
+namespace {
+
+TEST(GF2m, FieldSizes) {
+  GF2m f8(8);
+  EXPECT_EQ(f8.size(), 256u);
+  EXPECT_EQ(f8.order(), 255u);
+  GF2m f10(10);
+  EXPECT_EQ(f10.size(), 1024u);
+}
+
+TEST(GF2m, AlphaGeneratesWholeField) {
+  GF2m f(8);
+  std::vector<bool> seen(256, false);
+  for (std::uint32_t e = 0; e < f.order(); ++e) {
+    const auto v = f.alpha_pow(e);
+    ASSERT_NE(v, 0u);
+    ASSERT_FALSE(seen[v]) << "alpha^" << e << " repeats";
+    seen[v] = true;
+  }
+}
+
+TEST(GF2m, MultiplicationByZeroAndOne) {
+  GF2m f(10);
+  for (std::uint32_t a : {0u, 1u, 5u, 1023u}) {
+    EXPECT_EQ(f.mul(a, 0), 0u);
+    EXPECT_EQ(f.mul(0, a), 0u);
+    EXPECT_EQ(f.mul(a, 1), a);
+  }
+}
+
+TEST(GF2m, MultiplicationCommutesAndAssociates) {
+  GF2m f(8);
+  for (std::uint32_t a = 1; a < 256; a += 17) {
+    for (std::uint32_t b = 1; b < 256; b += 13) {
+      EXPECT_EQ(f.mul(a, b), f.mul(b, a));
+      for (std::uint32_t c = 1; c < 256; c += 31) {
+        EXPECT_EQ(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+      }
+    }
+  }
+}
+
+TEST(GF2m, DistributesOverAddition) {
+  GF2m f(8);
+  for (std::uint32_t a = 1; a < 256; a += 7) {
+    for (std::uint32_t b = 0; b < 256; b += 11) {
+      for (std::uint32_t c = 0; c < 256; c += 13) {
+        EXPECT_EQ(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+      }
+    }
+  }
+}
+
+TEST(GF2m, InverseIsTwoSided) {
+  GF2m f(10);
+  for (std::uint32_t a = 1; a < 1024; a += 37) {
+    const auto inv = f.inv(a);
+    EXPECT_EQ(f.mul(a, inv), 1u);
+    EXPECT_EQ(f.mul(inv, a), 1u);
+  }
+}
+
+TEST(GF2m, DivisionInvertsMultiplication) {
+  GF2m f(8);
+  for (std::uint32_t a = 0; a < 256; a += 5) {
+    for (std::uint32_t b = 1; b < 256; b += 9) {
+      EXPECT_EQ(f.div(f.mul(a, b), b), a);
+    }
+  }
+}
+
+TEST(GF2m, PowMatchesRepeatedMul) {
+  GF2m f(8);
+  const std::uint32_t a = 0x53;
+  std::uint32_t acc = 1;
+  for (std::uint64_t e = 0; e < 20; ++e) {
+    EXPECT_EQ(f.pow(a, e), acc);
+    acc = f.mul(acc, a);
+  }
+}
+
+TEST(GF2m, PowOfZero) {
+  GF2m f(8);
+  EXPECT_EQ(f.pow(0, 0), 1u);
+  EXPECT_EQ(f.pow(0, 5), 0u);
+}
+
+TEST(GF2m, FrobeniusFixedField) {
+  // x^(2^m) == x for all field elements.
+  GF2m f(8);
+  for (std::uint32_t a = 0; a < 256; ++a) {
+    EXPECT_EQ(f.pow(a, 256), a);
+  }
+}
+
+}  // namespace
+}  // namespace sudoku

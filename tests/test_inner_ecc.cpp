@@ -1,0 +1,172 @@
+// Tests for the §VII-G enhancement: SuDoku with an ECC-t inner code
+// (t >= 2) instead of ECC-1. With ECC-2, a line tolerates 2 faults
+// locally, SDR resurrects 3-fault lines, and the whole reliability ladder
+// shifts up.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "reliability/analytical.h"
+#include "sudoku/controller.h"
+
+namespace sudoku {
+namespace {
+
+SudokuConfig config_with_t(int t, SudokuLevel level) {
+  SudokuConfig cfg;
+  cfg.geo.num_lines = 1024;
+  cfg.geo.group_size = 32;
+  cfg.level = level;
+  cfg.inner_ecc_t = t;
+  return cfg;
+}
+
+BitVec random_data(Rng& rng) {
+  BitVec d(LineCodec::kDataBits);
+  auto w = d.words();
+  for (auto& word : w) word = rng.next_u64();
+  return d;
+}
+
+void inject(SudokuController& c, std::uint64_t line, int count, Rng& rng) {
+  std::set<std::uint32_t> used;
+  while (static_cast<int>(used.size()) < count) {
+    const auto bit = static_cast<std::uint32_t>(rng.next_below(c.codec().total_bits()));
+    if (used.insert(bit).second) c.array().flip(line, bit);
+  }
+}
+
+TEST(InnerEcc, CodecWidthScalesWithT) {
+  for (int t = 1; t <= 4; ++t) {
+    LineCodec codec(t);
+    EXPECT_EQ(codec.ecc_bits(), 10u * t) << t;
+    EXPECT_EQ(codec.total_bits(), 543u + 10u * t) << t;
+  }
+}
+
+TEST(InnerEcc, Ecc2CodecCorrectsTwoFaults) {
+  Rng rng(1);
+  LineCodec codec(2);
+  const BitVec good = codec.encode(random_data(rng));
+  for (int trial = 0; trial < 200; ++trial) {
+    BitVec bad = good;
+    const auto i = rng.next_below(codec.total_bits());
+    auto j = i;
+    while (j == i) j = rng.next_below(codec.total_bits());
+    bad.flip(i);
+    bad.flip(j);
+    ASSERT_EQ(codec.check_and_correct(bad), LineCodec::LineState::kCorrected);
+    ASSERT_EQ(bad, good);
+  }
+}
+
+TEST(InnerEcc, Ecc2CodecFlagsThreeFaults) {
+  Rng rng(2);
+  LineCodec codec(2);
+  const BitVec good = codec.encode(random_data(rng));
+  for (int trial = 0; trial < 200; ++trial) {
+    BitVec bad = good;
+    std::set<std::uint64_t> used;
+    while (used.size() < 3) {
+      const auto p = rng.next_below(codec.total_bits());
+      if (used.insert(p).second) bad.flip(p);
+    }
+    ASSERT_EQ(codec.check_and_correct(bad), LineCodec::LineState::kUncorrectable);
+  }
+}
+
+TEST(InnerEcc, SdrResurrectsThreeFaultLinesUnderEcc2) {
+  // Two 3-fault lines in a group defeat SuDoku-Y with ECC-1 but are
+  // resurrectable with ECC-2 (flip one mismatch, ECC-2 fixes the rest).
+  SudokuController c(config_with_t(2, SudokuLevel::kY));
+  Rng rng(3);
+  c.format_random(rng);
+  const BitVec want6 = c.read_data(6).data;
+  const BitVec want12 = c.read_data(12).data;
+  inject(c, 6, 3, rng);
+  inject(c, 12, 3, rng);
+  const std::uint64_t lines[] = {6, 12};
+  const auto stats = c.scrub_lines(lines);
+  EXPECT_EQ(stats.due_lines, 0u);
+  EXPECT_GE(stats.sdr_repairs, 1u);
+  EXPECT_EQ(c.read_data(6).data, want6);
+  EXPECT_EQ(c.read_data(12).data, want12);
+}
+
+TEST(InnerEcc, Ecc1FailsWhereEcc2Succeeds) {
+  // The same 3+3 pattern under ECC-1 is a DUE — the §VII-G claim.
+  SudokuController c1(config_with_t(1, SudokuLevel::kY));
+  Rng rng(4);
+  c1.format_random(rng);
+  inject(c1, 6, 3, rng);
+  inject(c1, 12, 3, rng);
+  const std::uint64_t lines[] = {6, 12};
+  EXPECT_EQ(c1.scrub_lines(lines).due_lines, 2u);
+}
+
+TEST(InnerEcc, Ecc2PairsOfFourFaultLinesFailY) {
+  SudokuController c(config_with_t(2, SudokuLevel::kY));
+  Rng rng(5);
+  c.format_random(rng);
+  inject(c, 6, 4, rng);
+  inject(c, 12, 4, rng);
+  const std::uint64_t lines[] = {6, 12};
+  EXPECT_EQ(c.scrub_lines(lines).due_lines, 2u);
+}
+
+TEST(InnerEcc, Ecc2ZRepairsFourFaultPairsViaHash2) {
+  SudokuController c(config_with_t(2, SudokuLevel::kZ));
+  Rng rng(6);
+  c.format_random(rng);
+  const BitVec want6 = c.read_data(6).data;
+  const BitVec want12 = c.read_data(12).data;
+  inject(c, 6, 4, rng);
+  inject(c, 12, 4, rng);
+  const std::uint64_t lines[] = {6, 12};
+  const auto stats = c.scrub_lines(lines);
+  EXPECT_EQ(stats.due_lines, 0u);
+  EXPECT_EQ(c.read_data(6).data, want6);
+  EXPECT_EQ(c.read_data(12).data, want12);
+}
+
+TEST(InnerEcc, MismatchCapAutoScales) {
+  SudokuConfig cfg = config_with_t(2, SudokuLevel::kY);
+  EXPECT_EQ(cfg.sdr_mismatch_cap(), 9u);
+  cfg.inner_ecc_t = 1;
+  EXPECT_EQ(cfg.sdr_mismatch_cap(), 6u);
+  cfg.max_sdr_mismatches = 4;
+  EXPECT_EQ(cfg.sdr_mismatch_cap(), 4u);
+}
+
+TEST(InnerEcc, AnalyticalLadderImprovesWithT) {
+  // Each increment of the inner code strength must improve every rung by
+  // orders of magnitude at the paper's BER.
+  reliability::CacheParams c1, c2;
+  c2.inner_ecc_t = 2;
+  EXPECT_GT(reliability::sudoku_x_due(c1).fit() / reliability::sudoku_x_due(c2).fit(),
+            100.0);
+  EXPECT_GT(reliability::sudoku_y_due(c1).fit() / reliability::sudoku_y_due(c2).fit(),
+            100.0);
+  EXPECT_GT(reliability::sudoku_z_due(c1, reliability::SdrModel::kStrict).fit() /
+                reliability::sudoku_z_due(c2, reliability::SdrModel::kStrict).fit(),
+            100.0);
+}
+
+TEST(InnerEcc, StorageCostGrowsLinearly) {
+  reliability::CacheParams c;
+  c.inner_ecc_t = 3;
+  EXPECT_EQ(c.sudoku_line_bits(), 573u);
+}
+
+TEST(InnerEcc, WriteReadRoundTripWithEcc2) {
+  SudokuController c(config_with_t(2, SudokuLevel::kZ));
+  Rng rng(7);
+  c.format_random(rng);
+  const BitVec data = random_data(rng);
+  c.write_data(100, data);
+  EXPECT_EQ(c.read_data(100).data, data);
+  EXPECT_TRUE(c.parities_consistent());
+}
+
+}  // namespace
+}  // namespace sudoku

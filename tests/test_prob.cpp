@@ -1,0 +1,133 @@
+#include "common/prob.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sudoku {
+namespace {
+
+TEST(Prob, LogFactorialSmallValues) {
+  EXPECT_NEAR(log_factorial(0), 0.0, 1e-12);
+  EXPECT_NEAR(log_factorial(1), 0.0, 1e-12);
+  EXPECT_NEAR(log_factorial(5), std::log(120.0), 1e-9);
+}
+
+TEST(Prob, BinomCoeffMatchesPascal) {
+  EXPECT_NEAR(std::exp(log_binom_coeff(5, 2)), 10.0, 1e-6);
+  EXPECT_NEAR(std::exp(log_binom_coeff(10, 5)), 252.0, 1e-5);
+  EXPECT_NEAR(std::exp(log_binom_coeff(543, 1)), 543.0, 1e-3);
+}
+
+TEST(Prob, BinomPmfSumsToOne) {
+  // Sum pmf over all k for a small n.
+  const double n = 20, p = 0.3;
+  double total = -1e300;
+  for (double k = 0; k <= n; ++k) total = log_sum(total, log_binom_pmf(n, k, p));
+  EXPECT_NEAR(total, 0.0, 1e-9);
+}
+
+TEST(Prob, BinomPmfDegenerateP) {
+  EXPECT_EQ(log_binom_pmf(10, 0, 0.0), 0.0);
+  EXPECT_EQ(log_binom_pmf(10, 10, 1.0), 0.0);
+  EXPECT_TRUE(std::isinf(log_binom_pmf(10, 1, 0.0)));
+}
+
+TEST(Prob, TailMatchesDirectSum) {
+  const double n = 30, p = 0.1, k = 5;
+  double direct = -1e300;
+  for (double j = k; j <= n; ++j) direct = log_sum(direct, log_binom_pmf(n, j, p));
+  EXPECT_NEAR(log_binom_tail_ge(n, k, p), direct, 1e-9);
+}
+
+TEST(Prob, TailHandlesTinyProbabilities) {
+  // P[>=2 faults in a 543-bit line] at BER 5.3e-6: ~C(543,2) p^2 = 4.1e-6.
+  const double lp = log_binom_tail_ge(543, 2, 5.3e-6);
+  const double expected = std::log(543.0 * 542.0 / 2.0) + 2 * std::log(5.3e-6);
+  EXPECT_NEAR(lp, expected, 0.01);
+}
+
+TEST(Prob, TailAtSevenFaultsMatchesPaperTable2) {
+  // P[>=7 faults per line] is the ECC-6 line-failure probability: the
+  // paper's Table II lists 4.9e-22 for a 512+60-bit ECC-6 line.
+  const double lp = log_binom_tail_ge(572, 7, 5.3e-6);
+  EXPECT_TRUE(std::isfinite(lp));
+  EXPECT_NEAR(std::exp(lp) / 4.9e-22, 1.0, 0.1);
+}
+
+TEST(Prob, TailBoundaries) {
+  EXPECT_EQ(log_binom_tail_ge(10, 0, 0.5), 0.0);
+  EXPECT_TRUE(std::isinf(log_binom_tail_ge(10, 11, 0.5)));
+}
+
+TEST(Prob, LogSumCommutes) {
+  const double a = -700, b = -701;
+  EXPECT_NEAR(log_sum(a, b), log_sum(b, a), 1e-12);
+  EXPECT_NEAR(std::exp(log_sum(std::log(0.25), std::log(0.5))), 0.75, 1e-12);
+}
+
+TEST(Prob, LogOneMinusExp) {
+  EXPECT_NEAR(log_one_minus_exp(std::log(0.25)), std::log(0.75), 1e-12);
+  EXPECT_NEAR(log_one_minus_exp(-1e-12), std::log(1e-12), 1e-3);
+}
+
+TEST(Prob, AnyOfNMatchesClosedForm) {
+  // 1 - (1-p)^n for moderate values.
+  const double p = 1e-3, n = 100;
+  const double expected = 1.0 - std::pow(1.0 - p, n);
+  EXPECT_NEAR(std::exp(log_any_of_n(std::log(p), n)), expected, 1e-9);
+}
+
+TEST(Prob, AnyOfNStableForTinyP) {
+  // p = 1e-300, n = 1e6: result must be ~n*p, not 0 or -inf garbage.
+  const double lp = std::log(1e-300);
+  const double out = log_any_of_n(lp, 1e6);
+  EXPECT_NEAR(out, lp + std::log(1e6), 1e-6);
+}
+
+TEST(Prob, GaussHermiteWeightsSumToOne) {
+  for (const int order : {8, 16, 32, 64}) {
+    GaussHermite gh(order);
+    double sum = 0;
+    for (const auto w : gh.weights) sum += w;
+    EXPECT_NEAR(sum, 1.0, 1e-12) << "order " << order;
+  }
+}
+
+TEST(Prob, GaussHermiteIntegratesMoments) {
+  GaussHermite gh(32);
+  double m1 = 0, m2 = 0, m4 = 0;
+  for (std::size_t i = 0; i < gh.nodes.size(); ++i) {
+    m1 += gh.weights[i] * gh.nodes[i];
+    m2 += gh.weights[i] * gh.nodes[i] * gh.nodes[i];
+    m4 += gh.weights[i] * std::pow(gh.nodes[i], 4);
+  }
+  EXPECT_NEAR(m1, 0.0, 1e-10);  // E[Z] = 0
+  EXPECT_NEAR(m2, 1.0, 1e-10);  // E[Z^2] = 1
+  EXPECT_NEAR(m4, 3.0, 1e-8);   // E[Z^4] = 3
+}
+
+TEST(Prob, GaussHermiteIntegratesExponentialTilt) {
+  // E[e^{aZ}] = e^{a^2/2} — exactly the moment the BER integral needs.
+  GaussHermite gh(64);
+  const double a = -3.5;
+  double acc = 0;
+  for (std::size_t i = 0; i < gh.nodes.size(); ++i)
+    acc += gh.weights[i] * std::exp(a * gh.nodes[i]);
+  EXPECT_NEAR(acc, std::exp(a * a / 2), std::exp(a * a / 2) * 1e-6);
+}
+
+TEST(Prob, FitConversionRoundTrip) {
+  // ECC-6 check from the paper: P_cache(20ms) = 5.1e-16 -> FIT ~ 0.092.
+  const double fit = fit_from_interval_prob(5.1e-16, 0.02);
+  EXPECT_NEAR(fit, 0.0918, 0.001);
+}
+
+TEST(Prob, MttfFromIntervalProb) {
+  // SuDoku-X: failure prob ~5.4e-3 per 20 ms -> MTTF ~3.7 s.
+  const double mttf = mttf_seconds(5.39e-3, 0.02);
+  EXPECT_NEAR(mttf, 3.71, 0.02);
+}
+
+}  // namespace
+}  // namespace sudoku

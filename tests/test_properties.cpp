@@ -1,0 +1,151 @@
+// Parameterised property sweeps across the configuration space: for every
+// combination of protection level, RAID-Group size and inner-code strength,
+// the core invariants must hold under randomized fault injection:
+//   P1. no silent corruption — every line not reported DUE decodes to its
+//       golden data;
+//   P2. parity consistency — after a scrub, every PLT entry equals the XOR
+//       of its group;
+//   P3. monotonicity — Z never loses a line that Y saves, Y never loses a
+//       line that X saves (on identical fault patterns);
+//   P4. repairability guarantee — any *single* multi-bit line per group is
+//       always repaired, regardless of fault count (RAID-4 erasure bound).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "sttram/fault_injector.h"
+#include "sudoku/controller.h"
+
+namespace sudoku {
+namespace {
+
+using Params = std::tuple<SudokuLevel, std::uint32_t /*group*/, int /*inner t*/>;
+
+class SweepTest : public ::testing::TestWithParam<Params> {
+ protected:
+  SudokuConfig make_config() const {
+    const auto [level, group, t] = GetParam();
+    SudokuConfig cfg;
+    cfg.geo.num_lines = 4096;  // >= group^2 for all swept group sizes
+    cfg.geo.group_size = group;
+    cfg.level = level;
+    cfg.inner_ecc_t = t;
+    return cfg;
+  }
+};
+
+TEST_P(SweepTest, NoSilentCorruptionAndParityConsistency) {
+  const SudokuConfig cfg = make_config();
+  SudokuController ctrl(cfg);
+  Rng rng(99);
+  SttramArray golden(cfg.geo.num_lines, ctrl.codec().total_bits());
+  ctrl.format([&](std::uint64_t line) {
+    BitVec d(LineCodec::kDataBits);
+    auto w = d.words();
+    for (auto& word : w) word = rng.next_u64();
+    golden.write_line(line, ctrl.codec().encode(d));
+    return d;
+  });
+
+  FaultInjector inj(cfg.geo.num_lines, ctrl.codec().total_bits(), 3e-4);
+  for (int interval = 0; interval < 15; ++interval) {
+    const auto batch = inj.sample_interval(rng);
+    FaultInjector::apply(batch, ctrl.array());
+    std::vector<std::uint64_t> touched;
+    for (const auto& [line, bits] : batch) touched.push_back(line);
+    const auto stats = ctrl.scrub_lines(touched);
+    const std::set<std::uint64_t> due(stats.due_line_ids.begin(), stats.due_line_ids.end());
+    for (const auto line : touched) {
+      if (due.count(line)) {
+        ctrl.array().write_line(line, golden.read_line(line));  // refill
+        continue;
+      }
+      // P1: silent corruption forbidden.
+      ASSERT_TRUE(ctrl.array().line_equals(line, golden.read_line(line)))
+          << "line " << line << " silently corrupted";
+    }
+  }
+  // P2: parities consistent after the campaign.
+  EXPECT_TRUE(ctrl.parities_consistent());
+}
+
+TEST_P(SweepTest, LoneMultiBitLineAlwaysRepairable) {
+  const SudokuConfig cfg = make_config();
+  SudokuController ctrl(cfg);
+  Rng rng(7);
+  ctrl.format_random(rng);
+  // P4: a single faulty line per group, arbitrary fault count up to 20.
+  for (const int nfaults : {2, 5, 11, 20}) {
+    const std::uint64_t line = rng.next_below(cfg.geo.num_lines);
+    const BitVec want = ctrl.read_data(line).data;
+    std::set<std::uint32_t> used;
+    while (static_cast<int>(used.size()) < nfaults) {
+      const auto bit = static_cast<std::uint32_t>(rng.next_below(ctrl.codec().total_bits()));
+      if (used.insert(bit).second) ctrl.array().flip(line, bit);
+    }
+    const std::uint64_t lines[] = {line};
+    const auto stats = ctrl.scrub_lines(lines);
+    ASSERT_EQ(stats.due_lines, 0u) << nfaults << " faults";
+    ASSERT_EQ(ctrl.read_data(line).data, want);
+  }
+}
+
+std::string sweep_name(const ::testing::TestParamInfo<Params>& info) {
+  std::string name = to_string(std::get<0>(info.param));
+  name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
+  return name + "_g" + std::to_string(std::get<1>(info.param)) + "_t" +
+         std::to_string(std::get<2>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigSpace, SweepTest,
+    ::testing::Combine(::testing::Values(SudokuLevel::kX, SudokuLevel::kY, SudokuLevel::kZ),
+                       ::testing::Values(16u, 64u), ::testing::Values(1, 2)),
+    sweep_name);
+
+// P3: level monotonicity on identical fault patterns.
+TEST(LevelMonotonicity, ZSavesWhateverYSavesWhateverXSaves) {
+  Rng pattern_rng(123);
+  for (int trial = 0; trial < 25; ++trial) {
+    // Generate one shared fault pattern: a few multi-bit lines in one group
+    // plus scattered singles.
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> flips;
+    const int nlines = 2 + static_cast<int>(pattern_rng.next_below(3));
+    for (int l = 0; l < nlines; ++l) {
+      const std::uint64_t line = pattern_rng.next_below(64);  // group 0/1
+      const int nf = 2 + static_cast<int>(pattern_rng.next_below(3));
+      for (int f = 0; f < nf; ++f) {
+        flips.emplace_back(line,
+                           static_cast<std::uint32_t>(pattern_rng.next_below(553)));
+      }
+    }
+
+    std::uint64_t due_by_level[3];
+    int idx = 0;
+    for (const auto level : {SudokuLevel::kX, SudokuLevel::kY, SudokuLevel::kZ}) {
+      SudokuConfig cfg;
+      cfg.geo.num_lines = 4096;
+      cfg.geo.group_size = 64;
+      cfg.level = level;
+      SudokuController ctrl(cfg);
+      Rng fmt(42);
+      ctrl.format_random(fmt);
+      std::set<std::uint64_t> touched_set;
+      for (const auto& [line, bit] : flips) {
+        ctrl.array().flip(line, bit);
+        touched_set.insert(line);
+      }
+      std::vector<std::uint64_t> touched(touched_set.begin(), touched_set.end());
+      due_by_level[idx++] = ctrl.scrub_lines(touched).due_lines;
+    }
+    EXPECT_GE(due_by_level[0], due_by_level[1]) << "X lost fewer than Y, trial " << trial;
+    EXPECT_GE(due_by_level[1], due_by_level[2]) << "Y lost fewer than Z, trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace sudoku

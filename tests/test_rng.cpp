@@ -1,0 +1,122 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace sudoku {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(553), 553u);
+    EXPECT_EQ(rng.next_below(1), 0u);
+  }
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng rng(5);
+  std::vector<int> hits(16, 0);
+  for (int i = 0; i < 16000; ++i) ++hits[rng.next_below(16)];
+  for (const auto h : hits) {
+    EXPECT_GT(h, 700);  // ~1000 expected per bucket
+    EXPECT_LT(h, 1300);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  double sum = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 100000, 0.5, 0.01);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0, sum2 = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.next_gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, BinomialMeanSmallRegime) {
+  // Exact-inversion path (mean below 64, p not tiny).
+  Rng rng(13);
+  const int trials = 20000;
+  double sum = 0;
+  for (int i = 0; i < trials; ++i) sum += static_cast<double>(rng.next_binomial(100, 0.3));
+  EXPECT_NEAR(sum / trials, 30.0, 0.5);
+}
+
+TEST(Rng, BinomialMeanPoissonRegime) {
+  // Tiny-p path: Binomial(1e9, 3e-9) ~ Poisson(3).
+  Rng rng(17);
+  const int trials = 20000;
+  double sum = 0;
+  for (int i = 0; i < trials; ++i)
+    sum += static_cast<double>(rng.next_binomial(1000000000ull, 3e-9));
+  EXPECT_NEAR(sum / trials, 3.0, 0.1);
+}
+
+TEST(Rng, BinomialMeanLargeRegime) {
+  // Normal-approximation path: the fault-injector regime, ~2900 faults over
+  // 5.7e8 bits.
+  Rng rng(19);
+  const std::uint64_t n = 566272000ull;
+  const double p = 5.3e-6;
+  const int trials = 5000;
+  double sum = 0;
+  for (int i = 0; i < trials; ++i) sum += static_cast<double>(rng.next_binomial(n, p));
+  EXPECT_NEAR(sum / trials, static_cast<double>(n) * p, 5.0);
+}
+
+TEST(Rng, BinomialEdgeCases) {
+  Rng rng(23);
+  EXPECT_EQ(rng.next_binomial(0, 0.5), 0u);
+  EXPECT_EQ(rng.next_binomial(100, 0.0), 0u);
+  EXPECT_EQ(rng.next_binomial(100, 1.0), 100u);
+}
+
+TEST(Rng, PoissonMean) {
+  Rng rng(29);
+  const int trials = 50000;
+  double sum = 0;
+  for (int i = 0; i < trials; ++i) sum += static_cast<double>(rng.next_poisson(4.2));
+  EXPECT_NEAR(sum / trials, 4.2, 0.1);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(31);
+  const int trials = 100000;
+  double sum = 0;
+  for (int i = 0; i < trials; ++i) sum += rng.next_exponential(2.0);
+  EXPECT_NEAR(sum / trials, 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace sudoku

@@ -1,0 +1,116 @@
+#include "sudoku/scrubber.h"
+
+#include <gtest/gtest.h>
+
+#include "reliability/montecarlo.h"
+
+namespace sudoku {
+namespace {
+
+SudokuConfig small_config(SudokuLevel level) {
+  SudokuConfig cfg;
+  cfg.geo.num_lines = 4096;
+  cfg.geo.group_size = 64;
+  cfg.level = level;
+  return cfg;
+}
+
+TEST(ScrubSchedule, BandwidthMatchesPaperEstimate) {
+  // §II-D footnote: a 64 MB cache scrubbed every 20 ms costs "not more
+  // than a few percent" of bandwidth. 1M lines / 16 banks × 9 ns / 20 ms.
+  ScrubSchedule s;
+  const double frac = s.bandwidth_fraction(1ull << 20);
+  EXPECT_GT(frac, 0.01);
+  EXPECT_LT(frac, 0.05);
+}
+
+TEST(ScrubSchedule, BandwidthScalesWithInterval) {
+  ScrubSchedule fast, slow;
+  fast.interval_s = 0.01;
+  slow.interval_s = 0.04;
+  EXPECT_NEAR(fast.bandwidth_fraction(1u << 20) / slow.bandwidth_fraction(1u << 20),
+              4.0, 1e-9);
+}
+
+TEST(ContinuousScrub, VisitsEveryLineEachInterval) {
+  SudokuController ctrl(small_config(SudokuLevel::kX));
+  Rng rng(1);
+  ctrl.format_random(rng);
+  ScrubSchedule sched;
+  const auto stats = run_continuous_scrub(ctrl, sched, 0.0, 8, 3, rng);
+  EXPECT_EQ(stats.sweeps, 3u);
+  EXPECT_EQ(stats.lines_scrubbed, 3u * 4096);
+  EXPECT_EQ(stats.faults_injected, 0u);
+  EXPECT_NEAR(stats.simulated_seconds, 0.06, 1e-9);
+}
+
+TEST(ContinuousScrub, CorrectsContinuouslyArrivingFaults) {
+  SudokuController ctrl(small_config(SudokuLevel::kZ));
+  Rng rng(2);
+  ctrl.format_random(rng);
+  ScrubSchedule sched;
+  // Rate chosen for ~1 fault per line-visit-window overall.
+  const double rate = 1e-2 / 553;  // per bit per second
+  const auto stats = run_continuous_scrub(ctrl, sched, rate, 16, 10, rng);
+  EXPECT_GT(stats.faults_injected, 0u);
+  EXPECT_GT(stats.ecc1_corrections, 0u);
+  EXPECT_EQ(stats.due_lines, 0u);  // mostly single-bit at this rate
+  // Drain faults that arrived after their line's last visit, then audit.
+  ctrl.scrub_all();
+  EXPECT_TRUE(ctrl.parities_consistent());
+}
+
+TEST(ContinuousScrub, SlicedSweepMatchesBatchedHarnessRate) {
+  // The batched (interval-barrier) harness injects a full interval of
+  // faults then scrubs everything; continuous slicing halves the average
+  // exposure. DUE rates must agree within ~2-3x (the batched harness is
+  // conservative).
+  const double per_interval_ber = 6e-4;
+  const double rate = per_interval_ber / 0.02;  // per bit per second
+
+  SudokuController ctrl(small_config(SudokuLevel::kX));
+  Rng rng(3);
+  ctrl.format_random(rng);
+  ScrubSchedule sched;
+  const auto cont = run_continuous_scrub(ctrl, sched, rate, 16, 150, rng);
+
+  reliability::McConfig mcfg;
+  mcfg.cache.num_lines = 4096;
+  mcfg.cache.group_size = 64;
+  mcfg.cache.ber = per_interval_ber;
+  mcfg.level = SudokuLevel::kX;
+  mcfg.max_intervals = 150;
+  mcfg.seed = 3;
+  const auto batched = reliability::run_montecarlo(mcfg);
+
+  // Both observe failures at this accelerated rate.
+  EXPECT_GT(cont.due_lines + batched.due_lines, 0u);
+  const double cont_rate = cont.due_rate_per_second();
+  const double batched_rate =
+      static_cast<double>(batched.due_lines) / (150 * 0.02);
+  if (cont_rate > 0 && batched_rate > 0) {
+    EXPECT_LT(cont_rate / batched_rate, 3.0);
+    EXPECT_GT(cont_rate / batched_rate, 1.0 / 6.0);
+  }
+}
+
+TEST(ContinuousScrub, HigherRateMeansMoreDue) {
+  ScrubSchedule sched;
+  std::uint64_t due_low, due_high;
+  {
+    SudokuController ctrl(small_config(SudokuLevel::kX));
+    Rng rng(4);
+    ctrl.format_random(rng);
+    due_low = run_continuous_scrub(ctrl, sched, 1e-4 / 0.02, 8, 100, rng).due_lines;
+  }
+  {
+    SudokuController ctrl(small_config(SudokuLevel::kX));
+    Rng rng(4);
+    ctrl.format_random(rng);
+    due_high = run_continuous_scrub(ctrl, sched, 2e-3 / 0.02, 8, 100, rng).due_lines;
+  }
+  EXPECT_GT(due_high, due_low);
+}
+
+}  // namespace
+}  // namespace sudoku

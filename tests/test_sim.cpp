@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.h"
+#include "sim/timing_sim.h"
+#include "sim/workload.h"
+
+namespace sudoku::sim {
+namespace {
+
+SimConfig fast_config() {
+  SimConfig cfg;
+  cfg.num_cores = 2;
+  cfg.instructions_per_core = 200'000;
+  cfg.llc.size_bytes = 4ull << 20;  // shrink the LLC to keep tests quick
+  return cfg;
+}
+
+TEST(Workload, RosterCoversAllSuites) {
+  const auto& roster = benchmark_roster();
+  EXPECT_GE(roster.size(), 35u);
+  int spec = 0, parsec = 0, bio = 0, comm = 0;
+  for (const auto& b : roster) {
+    if (b.suite == "SPEC") ++spec;
+    if (b.suite == "PARSEC") ++parsec;
+    if (b.suite == "BIO") ++bio;
+    if (b.suite == "COMM") ++comm;
+  }
+  EXPECT_GE(spec, 15);
+  EXPECT_GE(parsec, 8);
+  EXPECT_GE(bio, 3);
+  EXPECT_GE(comm, 4);
+}
+
+TEST(Workload, FindBenchmarkReturnsMatch) {
+  const auto& mcf = find_benchmark("mcf");
+  EXPECT_EQ(mcf.name, "mcf");
+  EXPECT_GT(mcf.llc_apki, 10.0);  // memory-bound
+}
+
+TEST(Workload, GeneratorIsDeterministic) {
+  TraceGenerator a(find_benchmark("gcc"), 0, 7);
+  TraceGenerator b(find_benchmark("gcc"), 0, 7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = a.next();
+    const auto y = b.next();
+    EXPECT_EQ(x.addr, y.addr);
+    EXPECT_EQ(x.is_write, y.is_write);
+    EXPECT_EQ(x.gap_instructions, y.gap_instructions);
+  }
+}
+
+TEST(Workload, CoresUseDisjointAddressSpaces) {
+  TraceGenerator a(find_benchmark("gcc"), 0, 7);
+  TraceGenerator b(find_benchmark("gcc"), 1, 7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NE(a.next().addr >> 40, b.next().addr >> 40);
+  }
+}
+
+TEST(Workload, WriteFractionMatchesProfile) {
+  const auto& prof = find_benchmark("lbm");
+  TraceGenerator gen(prof, 0, 3);
+  int writes = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (gen.next().is_write) ++writes;
+  EXPECT_NEAR(static_cast<double>(writes) / n, prof.write_frac, 0.02);
+}
+
+TEST(Workload, GapMatchesApki) {
+  const auto& prof = find_benchmark("mcf");
+  TraceGenerator gen(prof, 0, 4);
+  double total_gap = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) total_gap += gen.next().gap_instructions;
+  const double apki = 1000.0 * n / (total_gap + n);
+  EXPECT_NEAR(apki, prof.llc_apki, prof.llc_apki * 0.1);
+}
+
+TEST(Workload, StreamingFootprintRespected) {
+  const auto& prof = find_benchmark("libquantum");
+  TraceGenerator gen(prof, 0, 5);
+  for (int i = 0; i < 10000; ++i) {
+    const auto a = gen.next();
+    EXPECT_LT((a.addr & ((1ull << 40) - 1)) / 64, prof.footprint_lines);
+  }
+}
+
+TEST(TimingSim, RunsAndProducesSaneIpc) {
+  TimingSimulator sim(fast_config());
+  const auto res = sim.run({"gcc", "mcf"});
+  ASSERT_EQ(res.cores.size(), 2u);
+  for (const auto& c : res.cores) {
+    EXPECT_GT(c.ipc, 0.05);
+    EXPECT_LT(c.ipc, 4.0 + 1e-9);  // cannot beat the retire width
+    EXPECT_GE(c.instructions, 200'000u);
+  }
+  EXPECT_GT(res.total_time_ns, 0.0);
+  EXPECT_GT(res.llc.accesses, 0u);
+}
+
+TEST(TimingSim, MemoryBoundBenchmarkIsSlower) {
+  TimingSimulator sim(fast_config());
+  const auto light = sim.run({"swaptions", "swaptions"});
+  const auto heavy = sim.run({"mcf", "mcf"});
+  EXPECT_GT(light.cores[0].ipc, heavy.cores[0].ipc * 1.5);
+}
+
+TEST(TimingSim, SudokuOverheadIsSmall) {
+  // The core Figure 8 claim: SuDoku-Z costs well under 1% vs ideal.
+  SimConfig with = fast_config();
+  SimConfig ideal = fast_config();
+  ideal.sudoku.enabled = false;
+  const auto r_with = TimingSimulator(with).run({"gcc", "lbm"});
+  const auto r_ideal = TimingSimulator(ideal).run({"gcc", "lbm"});
+  const double slowdown = r_with.total_time_ns / r_ideal.total_time_ns;
+  // Tiny speedups are possible: delaying one load by the CRC cycle can
+  // reshuffle DRAM bank conflicts. The claim is |overhead| << 2%.
+  EXPECT_GE(slowdown, 0.99);
+  EXPECT_LT(slowdown, 1.02);
+}
+
+TEST(TimingSim, PltWritesTrackCacheWrites) {
+  SimConfig cfg = fast_config();
+  const auto res = TimingSimulator(cfg).run({"lbm", "lbm"});
+  // Two PLTs: parity updates are two per cache write (stores + fills).
+  EXPECT_EQ(res.plt_writes, 2 * res.llc_writes);
+}
+
+TEST(TimingSim, PltPortsNeverBottleneck) {
+  // §VII-I: the SRAM PLT (1 ns writes) must stay far below the STTRAM
+  // banks' utilization even on a write-heavy workload.
+  SimConfig cfg = fast_config();
+  const auto res = TimingSimulator(cfg).run({"lbm", "comm1"});
+  EXPECT_GT(res.llc_busy_ns, 0.0);
+  EXPECT_GT(res.plt_busy_ns, 0.0);
+  EXPECT_LT(res.plt_bank_utilization(cfg.llc.banks),
+            res.llc_bank_utilization(cfg.llc.banks) / 2.0);
+  EXPECT_LT(res.plt_bank_utilization(cfg.llc.banks), 0.05);
+}
+
+TEST(TimingSim, IdealHasNoSudokuTraffic) {
+  SimConfig cfg = fast_config();
+  cfg.sudoku.enabled = false;
+  const auto res = TimingSimulator(cfg).run({"gcc"});
+  EXPECT_EQ(res.plt_writes, 0u);
+  EXPECT_EQ(res.scrub_reads, 0u);
+  EXPECT_EQ(res.codec_events, 0u);
+}
+
+TEST(TimingSim, DeterministicForSeed) {
+  SimConfig cfg = fast_config();
+  const auto a = TimingSimulator(cfg).run({"omnetpp"});
+  const auto b = TimingSimulator(cfg).run({"omnetpp"});
+  EXPECT_EQ(a.total_time_ns, b.total_time_ns);
+  EXPECT_EQ(a.dram_accesses, b.dram_accesses);
+}
+
+TEST(Energy, BreakdownAddsUp) {
+  SimConfig cfg = fast_config();
+  const auto res = TimingSimulator(cfg).run({"gcc", "lbm"});
+  energy::EnergyParams params;
+  const auto e = energy::compute_energy(res, params, 553ull * (1 << 16), 2 * 553 * 128);
+  EXPECT_GT(e.total_j(), 0.0);
+  const double sum = e.llc_dynamic_j + e.plt_dynamic_j + e.codec_j + e.scrub_j +
+                     e.dram_j + e.static_j + e.core_j;
+  EXPECT_DOUBLE_EQ(e.total_j(), sum);
+}
+
+TEST(Energy, SudokuEdpOverheadMatchesFigure9) {
+  // Figure 9: System-EDP increase of at most ~0.4% on average.
+  SimConfig with = fast_config();
+  SimConfig ideal = fast_config();
+  ideal.sudoku.enabled = false;
+  const auto r_with = TimingSimulator(with).run({"lbm", "comm1"});
+  const auto r_ideal = TimingSimulator(ideal).run({"lbm", "comm1"});
+  energy::EnergyParams params;
+  const std::uint64_t cells = with.llc.num_lines() * 553;
+  const auto e_with = energy::compute_energy(r_with, params, cells, 2 * 2048 * 553);
+  const auto e_ideal = energy::compute_energy(r_ideal, params, cells, 0);
+  const double edp_ratio = energy::edp(e_with, r_with.total_time_ns) /
+                           energy::edp(e_ideal, r_ideal.total_time_ns);
+  // At these tiny instruction counts timing noise (contention reshuffling)
+  // can swing either way by ~1%; the claim is |overhead| is a few percent
+  // at most, with the energy *components* strictly larger for SuDoku.
+  EXPECT_GT(edp_ratio, 0.95);
+  EXPECT_LT(edp_ratio, 1.05);
+  EXPECT_GT(e_with.plt_dynamic_j, 0.0);
+  EXPECT_GT(e_with.scrub_j, 0.0);
+  EXPECT_EQ(e_ideal.plt_dynamic_j, 0.0);
+  EXPECT_GT(e_with.llc_dynamic_j + e_with.plt_dynamic_j + e_with.codec_j + e_with.scrub_j,
+            e_ideal.llc_dynamic_j + e_ideal.plt_dynamic_j + e_ideal.codec_j);
+}
+
+TEST(Energy, StaticPowerFavorsSttramOverSram) {
+  // Table VII: STTRAM leakage per cell is ~57x lower than SRAM — the
+  // motivation for STTRAM LLCs in the first place.
+  energy::EnergyParams p;
+  EXPECT_GT(p.sram_static_nw_per_cell / p.sttram_static_nw_per_cell, 50.0);
+}
+
+}  // namespace
+}  // namespace sudoku::sim

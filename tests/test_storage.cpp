@@ -1,0 +1,61 @@
+#include "sudoku/storage.h"
+
+#include <gtest/gtest.h>
+
+namespace sudoku {
+namespace {
+
+TEST(Storage, SudokuZMatchesPaperSection7H) {
+  // §VII-H: 10 ECC + 31 CRC + ~2 bits amortised PLT = 43 bits per line;
+  // two PLTs in ~256 KB SRAM for the 64 MB cache.
+  const auto s = sudoku_storage(1ull << 20, 512, 2);
+  EXPECT_DOUBLE_EQ(s.crc_bits, 31.0);
+  EXPECT_DOUBLE_EQ(s.ecc_bits, 10.0);
+  EXPECT_NEAR(s.parity_bits_amortized, 2.16, 0.01);  // paper rounds to 2
+  EXPECT_NEAR(s.overhead_bits_per_line(), 43.2, 0.1);
+  EXPECT_NEAR(s.sram_bytes_total / 1024.0, 276.5, 1.0);  // ~2x 138 KB
+}
+
+TEST(Storage, SudokuBeatsEcc6ByThirtyPercent) {
+  const auto z = sudoku_storage(1ull << 20, 512, 2);
+  const auto e6 = ecc_k_storage(6);
+  EXPECT_DOUBLE_EQ(e6.overhead_bits_per_line(), 60.0);
+  const double saving = 1.0 - z.overhead_bits_per_line() / e6.overhead_bits_per_line();
+  EXPECT_GT(saving, 0.25);  // paper: ~30% less storage
+  EXPECT_LT(saving, 0.33);
+}
+
+TEST(Storage, HiEccIsCheapestButWeakest) {
+  const auto hi = hi_ecc_storage();
+  EXPECT_NEAR(hi.overhead_bits_per_line(), 5.25, 0.01);  // 0.9% overhead claim
+  EXPECT_NEAR(hi.overhead_fraction(), 0.0103, 0.001);
+}
+
+TEST(Storage, CppcGlobalParityAmortizesToNothing) {
+  const auto s = cppc_storage(1ull << 20);
+  EXPECT_LT(s.parity_bits_amortized, 0.001);
+  EXPECT_NEAR(s.overhead_bits_per_line(), 41.0, 0.01);
+}
+
+TEST(Storage, Raid6CostsTwoParityLinesPerGroup) {
+  const auto s = raid6_storage(512);
+  EXPECT_NEAR(s.parity_bits_amortized, 2.16, 0.01);
+  EXPECT_NEAR(s.overhead_bits_per_line(), 43.16, 0.01);  // same budget as Z
+}
+
+TEST(Storage, SmallerGroupsCostMoreParity) {
+  const auto g128 = sudoku_storage(1ull << 20, 128, 2);
+  const auto g512 = sudoku_storage(1ull << 20, 512, 2);
+  EXPECT_NEAR(g128.parity_bits_amortized / g512.parity_bits_amortized, 4.0, 1e-9);
+}
+
+TEST(Storage, InnerEccStrengthAddsTenBitsPerStep) {
+  const auto t1 = sudoku_storage(1ull << 20, 512, 2, 1);
+  const auto t2 = sudoku_storage(1ull << 20, 512, 2, 2);
+  EXPECT_NEAR(t2.ecc_bits - t1.ecc_bits, 10.0, 1e-9);
+  // ECC-2 SuDoku still cheaper than ECC-6 per line.
+  EXPECT_LT(t2.overhead_bits_per_line(), 60.0);
+}
+
+}  // namespace
+}  // namespace sudoku
