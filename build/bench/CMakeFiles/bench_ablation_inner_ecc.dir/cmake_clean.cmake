@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_inner_ecc.dir/bench_ablation_inner_ecc.cpp.o"
+  "CMakeFiles/bench_ablation_inner_ecc.dir/bench_ablation_inner_ecc.cpp.o.d"
+  "bench_ablation_inner_ecc"
+  "bench_ablation_inner_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_inner_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

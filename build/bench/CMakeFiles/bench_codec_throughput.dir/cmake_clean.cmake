@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_codec_throughput.dir/bench_codec_throughput.cpp.o"
+  "CMakeFiles/bench_codec_throughput.dir/bench_codec_throughput.cpp.o.d"
+  "bench_codec_throughput"
+  "bench_codec_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_codec_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_correction_latency.dir/bench_correction_latency.cpp.o"
+  "CMakeFiles/bench_correction_latency.dir/bench_correction_latency.cpp.o.d"
+  "bench_correction_latency"
+  "bench_correction_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_correction_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

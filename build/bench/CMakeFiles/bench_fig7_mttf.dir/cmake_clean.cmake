@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_mttf.dir/bench_fig7_mttf.cpp.o"
+  "CMakeFiles/bench_fig7_mttf.dir/bench_fig7_mttf.cpp.o.d"
+  "bench_fig7_mttf"
+  "bench_fig7_mttf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_mttf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

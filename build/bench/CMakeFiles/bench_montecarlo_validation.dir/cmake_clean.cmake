@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_montecarlo_validation.dir/bench_montecarlo_validation.cpp.o"
+  "CMakeFiles/bench_montecarlo_validation.dir/bench_montecarlo_validation.cpp.o.d"
+  "bench_montecarlo_validation"
+  "bench_montecarlo_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_montecarlo_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scrub_bandwidth.dir/bench_scrub_bandwidth.cpp.o"
+  "CMakeFiles/bench_scrub_bandwidth.dir/bench_scrub_bandwidth.cpp.o.d"
+  "bench_scrub_bandwidth"
+  "bench_scrub_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scrub_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

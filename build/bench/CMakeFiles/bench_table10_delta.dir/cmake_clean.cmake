@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_delta.dir/bench_table10_delta.cpp.o"
+  "CMakeFiles/bench_table10_delta.dir/bench_table10_delta.cpp.o.d"
+  "bench_table10_delta"
+  "bench_table10_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table12_hiecc.dir/bench_table12_hiecc.cpp.o"
+  "CMakeFiles/bench_table12_hiecc.dir/bench_table12_hiecc.cpp.o.d"
+  "bench_table12_hiecc"
+  "bench_table12_hiecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table12_hiecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_ber.dir/bench_table1_ber.cpp.o"
+  "CMakeFiles/bench_table1_ber.dir/bench_table1_ber.cpp.o.d"
+  "bench_table1_ber"
+  "bench_table1_ber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_ber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_sdc.dir/bench_table3_sdc.cpp.o"
+  "CMakeFiles/bench_table3_sdc.dir/bench_table3_sdc.cpp.o.d"
+  "bench_table3_sdc"
+  "bench_table3_sdc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_sdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

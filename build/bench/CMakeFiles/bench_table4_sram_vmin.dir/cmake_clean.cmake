@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_sram_vmin.dir/bench_table4_sram_vmin.cpp.o"
+  "CMakeFiles/bench_table4_sram_vmin.dir/bench_table4_sram_vmin.cpp.o.d"
+  "bench_table4_sram_vmin"
+  "bench_table4_sram_vmin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_sram_vmin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

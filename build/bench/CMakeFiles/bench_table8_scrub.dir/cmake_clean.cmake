@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_scrub.dir/bench_table8_scrub.cpp.o"
+  "CMakeFiles/bench_table8_scrub.dir/bench_table8_scrub.cpp.o.d"
+  "bench_table8_scrub"
+  "bench_table8_scrub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_scrub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

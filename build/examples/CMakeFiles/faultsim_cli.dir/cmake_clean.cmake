@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faultsim_cli.dir/faultsim_cli.cpp.o"
+  "CMakeFiles/faultsim_cli.dir/faultsim_cli.cpp.o.d"
+  "faultsim_cli"
+  "faultsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faultsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

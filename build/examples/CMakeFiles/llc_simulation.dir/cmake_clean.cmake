@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llc_simulation.dir/llc_simulation.cpp.o"
+  "CMakeFiles/llc_simulation.dir/llc_simulation.cpp.o.d"
+  "llc_simulation"
+  "llc_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llc_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

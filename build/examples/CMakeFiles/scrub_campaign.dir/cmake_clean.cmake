@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scrub_campaign.dir/scrub_campaign.cpp.o"
+  "CMakeFiles/scrub_campaign.dir/scrub_campaign.cpp.o.d"
+  "scrub_campaign"
+  "scrub_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scrub_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/cppc_cache.cpp" "src/baselines/CMakeFiles/sudoku_baselines.dir/cppc_cache.cpp.o" "gcc" "src/baselines/CMakeFiles/sudoku_baselines.dir/cppc_cache.cpp.o.d"
+  "/root/repo/src/baselines/ecck_cache.cpp" "src/baselines/CMakeFiles/sudoku_baselines.dir/ecck_cache.cpp.o" "gcc" "src/baselines/CMakeFiles/sudoku_baselines.dir/ecck_cache.cpp.o.d"
+  "/root/repo/src/baselines/hiecc_cache.cpp" "src/baselines/CMakeFiles/sudoku_baselines.dir/hiecc_cache.cpp.o" "gcc" "src/baselines/CMakeFiles/sudoku_baselines.dir/hiecc_cache.cpp.o.d"
+  "/root/repo/src/baselines/mc_runner.cpp" "src/baselines/CMakeFiles/sudoku_baselines.dir/mc_runner.cpp.o" "gcc" "src/baselines/CMakeFiles/sudoku_baselines.dir/mc_runner.cpp.o.d"
+  "/root/repo/src/baselines/raid6_cache.cpp" "src/baselines/CMakeFiles/sudoku_baselines.dir/raid6_cache.cpp.o" "gcc" "src/baselines/CMakeFiles/sudoku_baselines.dir/raid6_cache.cpp.o.d"
+  "/root/repo/src/baselines/twodp_cache.cpp" "src/baselines/CMakeFiles/sudoku_baselines.dir/twodp_cache.cpp.o" "gcc" "src/baselines/CMakeFiles/sudoku_baselines.dir/twodp_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sudoku_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/codes/CMakeFiles/sudoku_codes.dir/DependInfo.cmake"
+  "/root/repo/build/src/sttram/CMakeFiles/sudoku_sttram.dir/DependInfo.cmake"
+  "/root/repo/build/src/raid/CMakeFiles/sudoku_raid.dir/DependInfo.cmake"
+  "/root/repo/build/src/sudoku/CMakeFiles/sudoku_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sudoku_baselines.dir/cppc_cache.cpp.o"
+  "CMakeFiles/sudoku_baselines.dir/cppc_cache.cpp.o.d"
+  "CMakeFiles/sudoku_baselines.dir/ecck_cache.cpp.o"
+  "CMakeFiles/sudoku_baselines.dir/ecck_cache.cpp.o.d"
+  "CMakeFiles/sudoku_baselines.dir/hiecc_cache.cpp.o"
+  "CMakeFiles/sudoku_baselines.dir/hiecc_cache.cpp.o.d"
+  "CMakeFiles/sudoku_baselines.dir/mc_runner.cpp.o"
+  "CMakeFiles/sudoku_baselines.dir/mc_runner.cpp.o.d"
+  "CMakeFiles/sudoku_baselines.dir/raid6_cache.cpp.o"
+  "CMakeFiles/sudoku_baselines.dir/raid6_cache.cpp.o.d"
+  "CMakeFiles/sudoku_baselines.dir/twodp_cache.cpp.o"
+  "CMakeFiles/sudoku_baselines.dir/twodp_cache.cpp.o.d"
+  "libsudoku_baselines.a"
+  "libsudoku_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sudoku_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sudoku_cache.dir/cache_model.cpp.o"
+  "CMakeFiles/sudoku_cache.dir/cache_model.cpp.o.d"
+  "libsudoku_cache.a"
+  "libsudoku_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sudoku_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

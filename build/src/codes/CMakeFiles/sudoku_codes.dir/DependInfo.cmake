@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codes/bch.cpp" "src/codes/CMakeFiles/sudoku_codes.dir/bch.cpp.o" "gcc" "src/codes/CMakeFiles/sudoku_codes.dir/bch.cpp.o.d"
+  "/root/repo/src/codes/crc31.cpp" "src/codes/CMakeFiles/sudoku_codes.dir/crc31.cpp.o" "gcc" "src/codes/CMakeFiles/sudoku_codes.dir/crc31.cpp.o.d"
+  "/root/repo/src/codes/crc_analysis.cpp" "src/codes/CMakeFiles/sudoku_codes.dir/crc_analysis.cpp.o" "gcc" "src/codes/CMakeFiles/sudoku_codes.dir/crc_analysis.cpp.o.d"
+  "/root/repo/src/codes/gf2m.cpp" "src/codes/CMakeFiles/sudoku_codes.dir/gf2m.cpp.o" "gcc" "src/codes/CMakeFiles/sudoku_codes.dir/gf2m.cpp.o.d"
+  "/root/repo/src/codes/gf2poly.cpp" "src/codes/CMakeFiles/sudoku_codes.dir/gf2poly.cpp.o" "gcc" "src/codes/CMakeFiles/sudoku_codes.dir/gf2poly.cpp.o.d"
+  "/root/repo/src/codes/hamming.cpp" "src/codes/CMakeFiles/sudoku_codes.dir/hamming.cpp.o" "gcc" "src/codes/CMakeFiles/sudoku_codes.dir/hamming.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sudoku_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

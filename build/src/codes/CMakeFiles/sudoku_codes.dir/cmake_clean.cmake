@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sudoku_codes.dir/bch.cpp.o"
+  "CMakeFiles/sudoku_codes.dir/bch.cpp.o.d"
+  "CMakeFiles/sudoku_codes.dir/crc31.cpp.o"
+  "CMakeFiles/sudoku_codes.dir/crc31.cpp.o.d"
+  "CMakeFiles/sudoku_codes.dir/crc_analysis.cpp.o"
+  "CMakeFiles/sudoku_codes.dir/crc_analysis.cpp.o.d"
+  "CMakeFiles/sudoku_codes.dir/gf2m.cpp.o"
+  "CMakeFiles/sudoku_codes.dir/gf2m.cpp.o.d"
+  "CMakeFiles/sudoku_codes.dir/gf2poly.cpp.o"
+  "CMakeFiles/sudoku_codes.dir/gf2poly.cpp.o.d"
+  "CMakeFiles/sudoku_codes.dir/hamming.cpp.o"
+  "CMakeFiles/sudoku_codes.dir/hamming.cpp.o.d"
+  "libsudoku_codes.a"
+  "libsudoku_codes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sudoku_codes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

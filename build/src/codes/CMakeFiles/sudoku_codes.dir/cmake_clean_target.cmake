@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsudoku_codes.a"
+)

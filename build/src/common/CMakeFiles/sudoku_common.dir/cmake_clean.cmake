@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sudoku_common.dir/bitvec.cpp.o"
+  "CMakeFiles/sudoku_common.dir/bitvec.cpp.o.d"
+  "CMakeFiles/sudoku_common.dir/prob.cpp.o"
+  "CMakeFiles/sudoku_common.dir/prob.cpp.o.d"
+  "CMakeFiles/sudoku_common.dir/rng.cpp.o"
+  "CMakeFiles/sudoku_common.dir/rng.cpp.o.d"
+  "libsudoku_common.a"
+  "libsudoku_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sudoku_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sudoku_energy.dir/energy_model.cpp.o"
+  "CMakeFiles/sudoku_energy.dir/energy_model.cpp.o.d"
+  "libsudoku_energy.a"
+  "libsudoku_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sudoku_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

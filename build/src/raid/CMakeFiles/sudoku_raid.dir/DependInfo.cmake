@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/raid/raid6.cpp" "src/raid/CMakeFiles/sudoku_raid.dir/raid6.cpp.o" "gcc" "src/raid/CMakeFiles/sudoku_raid.dir/raid6.cpp.o.d"
+  "/root/repo/src/raid/rdp.cpp" "src/raid/CMakeFiles/sudoku_raid.dir/rdp.cpp.o" "gcc" "src/raid/CMakeFiles/sudoku_raid.dir/rdp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sudoku_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/codes/CMakeFiles/sudoku_codes.dir/DependInfo.cmake"
+  "/root/repo/build/src/sttram/CMakeFiles/sudoku_sttram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sudoku_raid.dir/raid6.cpp.o"
+  "CMakeFiles/sudoku_raid.dir/raid6.cpp.o.d"
+  "CMakeFiles/sudoku_raid.dir/rdp.cpp.o"
+  "CMakeFiles/sudoku_raid.dir/rdp.cpp.o.d"
+  "libsudoku_raid.a"
+  "libsudoku_raid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sudoku_raid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sudoku_reliability.dir/analytical.cpp.o"
+  "CMakeFiles/sudoku_reliability.dir/analytical.cpp.o.d"
+  "CMakeFiles/sudoku_reliability.dir/montecarlo.cpp.o"
+  "CMakeFiles/sudoku_reliability.dir/montecarlo.cpp.o.d"
+  "libsudoku_reliability.a"
+  "libsudoku_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sudoku_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/dram.cpp" "src/sim/CMakeFiles/sudoku_sim.dir/dram.cpp.o" "gcc" "src/sim/CMakeFiles/sudoku_sim.dir/dram.cpp.o.d"
+  "/root/repo/src/sim/timing_sim.cpp" "src/sim/CMakeFiles/sudoku_sim.dir/timing_sim.cpp.o" "gcc" "src/sim/CMakeFiles/sudoku_sim.dir/timing_sim.cpp.o.d"
+  "/root/repo/src/sim/trace_io.cpp" "src/sim/CMakeFiles/sudoku_sim.dir/trace_io.cpp.o" "gcc" "src/sim/CMakeFiles/sudoku_sim.dir/trace_io.cpp.o.d"
+  "/root/repo/src/sim/workload.cpp" "src/sim/CMakeFiles/sudoku_sim.dir/workload.cpp.o" "gcc" "src/sim/CMakeFiles/sudoku_sim.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sudoku_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/sudoku_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

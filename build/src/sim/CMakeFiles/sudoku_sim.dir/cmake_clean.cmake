@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sudoku_sim.dir/dram.cpp.o"
+  "CMakeFiles/sudoku_sim.dir/dram.cpp.o.d"
+  "CMakeFiles/sudoku_sim.dir/timing_sim.cpp.o"
+  "CMakeFiles/sudoku_sim.dir/timing_sim.cpp.o.d"
+  "CMakeFiles/sudoku_sim.dir/trace_io.cpp.o"
+  "CMakeFiles/sudoku_sim.dir/trace_io.cpp.o.d"
+  "CMakeFiles/sudoku_sim.dir/workload.cpp.o"
+  "CMakeFiles/sudoku_sim.dir/workload.cpp.o.d"
+  "libsudoku_sim.a"
+  "libsudoku_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sudoku_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

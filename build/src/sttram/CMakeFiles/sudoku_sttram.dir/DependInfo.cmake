@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sttram/device_model.cpp" "src/sttram/CMakeFiles/sudoku_sttram.dir/device_model.cpp.o" "gcc" "src/sttram/CMakeFiles/sudoku_sttram.dir/device_model.cpp.o.d"
+  "/root/repo/src/sttram/fault_injector.cpp" "src/sttram/CMakeFiles/sudoku_sttram.dir/fault_injector.cpp.o" "gcc" "src/sttram/CMakeFiles/sudoku_sttram.dir/fault_injector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sudoku_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sudoku_sttram.dir/device_model.cpp.o"
+  "CMakeFiles/sudoku_sttram.dir/device_model.cpp.o.d"
+  "CMakeFiles/sudoku_sttram.dir/fault_injector.cpp.o"
+  "CMakeFiles/sudoku_sttram.dir/fault_injector.cpp.o.d"
+  "libsudoku_sttram.a"
+  "libsudoku_sttram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sudoku_sttram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sudoku/controller.cpp" "src/sudoku/CMakeFiles/sudoku_core.dir/controller.cpp.o" "gcc" "src/sudoku/CMakeFiles/sudoku_core.dir/controller.cpp.o.d"
+  "/root/repo/src/sudoku/line_codec.cpp" "src/sudoku/CMakeFiles/sudoku_core.dir/line_codec.cpp.o" "gcc" "src/sudoku/CMakeFiles/sudoku_core.dir/line_codec.cpp.o.d"
+  "/root/repo/src/sudoku/scrubber.cpp" "src/sudoku/CMakeFiles/sudoku_core.dir/scrubber.cpp.o" "gcc" "src/sudoku/CMakeFiles/sudoku_core.dir/scrubber.cpp.o.d"
+  "/root/repo/src/sudoku/storage.cpp" "src/sudoku/CMakeFiles/sudoku_core.dir/storage.cpp.o" "gcc" "src/sudoku/CMakeFiles/sudoku_core.dir/storage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sudoku_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/codes/CMakeFiles/sudoku_codes.dir/DependInfo.cmake"
+  "/root/repo/build/src/sttram/CMakeFiles/sudoku_sttram.dir/DependInfo.cmake"
+  "/root/repo/build/src/raid/CMakeFiles/sudoku_raid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

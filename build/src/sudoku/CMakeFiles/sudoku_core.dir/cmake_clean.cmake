@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sudoku_core.dir/controller.cpp.o"
+  "CMakeFiles/sudoku_core.dir/controller.cpp.o.d"
+  "CMakeFiles/sudoku_core.dir/line_codec.cpp.o"
+  "CMakeFiles/sudoku_core.dir/line_codec.cpp.o.d"
+  "CMakeFiles/sudoku_core.dir/scrubber.cpp.o"
+  "CMakeFiles/sudoku_core.dir/scrubber.cpp.o.d"
+  "CMakeFiles/sudoku_core.dir/storage.cpp.o"
+  "CMakeFiles/sudoku_core.dir/storage.cpp.o.d"
+  "libsudoku_core.a"
+  "libsudoku_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sudoku_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crc31.dir/test_crc31.cpp.o"
+  "CMakeFiles/test_crc31.dir/test_crc31.cpp.o.d"
+  "test_crc31"
+  "test_crc31.pdb"
+  "test_crc31[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crc31.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

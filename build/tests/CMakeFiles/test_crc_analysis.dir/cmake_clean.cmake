@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crc_analysis.dir/test_crc_analysis.cpp.o"
+  "CMakeFiles/test_crc_analysis.dir/test_crc_analysis.cpp.o.d"
+  "test_crc_analysis"
+  "test_crc_analysis.pdb"
+  "test_crc_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

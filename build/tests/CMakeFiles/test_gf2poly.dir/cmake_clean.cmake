@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gf2poly.dir/test_gf2poly.cpp.o"
+  "CMakeFiles/test_gf2poly.dir/test_gf2poly.cpp.o.d"
+  "test_gf2poly"
+  "test_gf2poly.pdb"
+  "test_gf2poly[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gf2poly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

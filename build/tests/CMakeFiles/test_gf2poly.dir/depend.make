@@ -1,0 +1,2 @@
+# Empty dependencies file for test_gf2poly.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_hamming.cpp" "tests/CMakeFiles/test_hamming.dir/test_hamming.cpp.o" "gcc" "tests/CMakeFiles/test_hamming.dir/test_hamming.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/energy/CMakeFiles/sudoku_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sudoku_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/sudoku_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/sudoku_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliability/CMakeFiles/sudoku_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/sudoku/CMakeFiles/sudoku_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/raid/CMakeFiles/sudoku_raid.dir/DependInfo.cmake"
+  "/root/repo/build/src/sttram/CMakeFiles/sudoku_sttram.dir/DependInfo.cmake"
+  "/root/repo/build/src/codes/CMakeFiles/sudoku_codes.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sudoku_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

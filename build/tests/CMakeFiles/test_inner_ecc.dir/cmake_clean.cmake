@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inner_ecc.dir/test_inner_ecc.cpp.o"
+  "CMakeFiles/test_inner_ecc.dir/test_inner_ecc.cpp.o.d"
+  "test_inner_ecc"
+  "test_inner_ecc.pdb"
+  "test_inner_ecc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inner_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

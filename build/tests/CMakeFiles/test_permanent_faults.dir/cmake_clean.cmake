@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_permanent_faults.dir/test_permanent_faults.cpp.o"
+  "CMakeFiles/test_permanent_faults.dir/test_permanent_faults.cpp.o.d"
+  "test_permanent_faults"
+  "test_permanent_faults.pdb"
+  "test_permanent_faults[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_permanent_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

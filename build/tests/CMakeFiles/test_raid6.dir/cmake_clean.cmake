@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_raid6.dir/test_raid6.cpp.o"
+  "CMakeFiles/test_raid6.dir/test_raid6.cpp.o.d"
+  "test_raid6"
+  "test_raid6.pdb"
+  "test_raid6[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_raid6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
