@@ -6,9 +6,15 @@
 // hundred simulated hours and SuDoku-Z effectively never — direct MC at
 // the operating point is computationally meaningless, which is why the
 // paper itself uses analytical models, §VII-A.)
+//
+// Runs on the src/exp engine: trials shard across a work-stealing pool
+// with per-trial seed streams, so DUE/SDC counts are bit-identical for any
+// --threads value, and an artifact with the merged results + throughput is
+// written under bench/out/.
 #include <cstdio>
 
 #include "bench_util.h"
+#include "exp/mc_experiments.h"
 #include "reliability/analytical.h"
 #include "reliability/montecarlo.h"
 
@@ -17,50 +23,112 @@ using namespace sudoku::reliability;
 
 namespace {
 
-void validate(SudokuLevel level, double ber, std::uint64_t intervals) {
+struct Case {
+  SudokuLevel level;
+  double ber;
+  std::uint64_t intervals;
+};
+
+exp::JsonObject validate(const Case& c, const bench::BenchArgs& args,
+                         exp::RunStats& total_stats) {
   McConfig cfg;
   cfg.cache.num_lines = 1u << 12;
   cfg.cache.group_size = 64;
-  cfg.cache.ber = ber;
-  cfg.level = level;
-  cfg.max_intervals = intervals;
-  cfg.seed = 99;
-  const auto mc = run_montecarlo(cfg);
+  cfg.cache.ber = c.ber;
+  cfg.level = c.level;
+  cfg.max_intervals = c.intervals;
+  cfg.seed = args.seed_or(99);
+
+  exp::ExpOptions opts;
+  opts.threads = args.threads;
+  exp::RunStats stats;
+  const auto mc = exp::run_montecarlo_parallel(cfg, opts, &stats);
+  total_stats += stats;
 
   FitResult an{};
-  switch (level) {
+  switch (c.level) {
     case SudokuLevel::kX: an = sudoku_x_due(cfg.cache); break;
     case SudokuLevel::kY: an = sudoku_y_due(cfg.cache); break;
     case SudokuLevel::kZ: an = sudoku_z_due(cfg.cache); break;
   }
-  std::printf("  %-9s ber=%-8s MC p/interval=%-10s analytical=%-10s events=%llu  sdc=%llu\n",
-              to_string(level), bench::sci(ber).c_str(),
-              bench::sci(mc.p_failure_per_interval()).c_str(),
-              bench::sci(an.p_interval()).c_str(),
-              static_cast<unsigned long long>(mc.failure_intervals),
-              static_cast<unsigned long long>(mc.sdc_lines));
+  std::printf(
+      "  %-9s ber=%-8s MC p/interval=%-10s analytical=%-10s events=%llu  "
+      "sdc=%llu  (%s trials/s)\n",
+      to_string(c.level), bench::sci(c.ber).c_str(),
+      bench::sci(mc.p_failure_per_interval()).c_str(),
+      bench::sci(an.p_interval()).c_str(),
+      static_cast<unsigned long long>(mc.failure_intervals),
+      static_cast<unsigned long long>(mc.sdc_lines),
+      bench::sci(stats.trials_per_second()).c_str());
+
+  exp::JsonObject row;
+  row.set("level", to_string(c.level))
+      .set("ber", c.ber)
+      .set("intervals", mc.intervals)
+      .set("faults_injected", mc.faults_injected)
+      .set("due_lines", mc.due_lines)
+      .set("sdc_lines", mc.sdc_lines)
+      .set("failure_intervals", mc.failure_intervals)
+      .set("mc_p_interval", mc.p_failure_per_interval())
+      .set("analytical_p_interval", an.p_interval())
+      .set("trials_per_second", stats.trials_per_second());
+  return row;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::uint64_t scale = argc > 1 ? std::stoull(argv[1]) : 1;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const Case cases[] = {
+      {SudokuLevel::kX, 1e-4, 800 * args.scale},
+      {SudokuLevel::kX, 2e-4, 400 * args.scale},
+      {SudokuLevel::kY, 1.5e-4, 2500 * args.scale},
+      {SudokuLevel::kY, 2.5e-4, 500 * args.scale},
+      {SudokuLevel::kZ, 3.5e-4, 300 * args.scale},
+  };
 
   bench::print_header("Monte-Carlo vs analytical (256 KB cache, 64-line groups)");
+  exp::RunStats total_stats;
+  exp::JsonArray rows;
+
   std::printf("\n  SuDoku-X (failures ~ groups with two 2-fault lines):\n");
-  validate(SudokuLevel::kX, 1e-4, 800 * scale);
-  validate(SudokuLevel::kX, 2e-4, 400 * scale);
+  rows.push(validate(cases[0], args, total_stats));
+  rows.push(validate(cases[1], args, total_stats));
 
   std::printf("\n  SuDoku-Y (failures need 3+3-fault pairs / full overlaps):\n");
-  validate(SudokuLevel::kY, 1.5e-4, 2500 * scale);
-  validate(SudokuLevel::kY, 2.5e-4, 500 * scale);
+  rows.push(validate(cases[2], args, total_stats));
+  rows.push(validate(cases[3], args, total_stats));
 
   std::printf("\n  SuDoku-Z (failures need hard 4-cycles; at the Y-failure BER the\n");
   std::printf("  MC should show far fewer events than Y):\n");
-  validate(SudokuLevel::kZ, 3.5e-4, 300 * scale);
+  rows.push(validate(cases[4], args, total_stats));
 
   std::printf("\n  The analytical models capture the leading-order failure modes;\n");
   std::printf("  MC includes every higher-order interaction, so modest (<2x)\n");
   std::printf("  deviations are expected. SDC must be 0 in all runs.\n");
+
+  exp::JsonObject config;
+  config.set("num_lines", std::uint64_t{1u << 12})
+      .set("group_size", 64)
+      .set("seed", args.seed_or(99))
+      .set("scale", args.scale);
+  exp::JsonObject result;
+  result.set("cases", rows);
+
+  const exp::ResultSink sink(args.out_dir);
+  const auto path = sink.write("montecarlo_validation", config, result, total_stats);
+  std::printf("\n  %llu trials in %.2f s (%s trials/s, %u threads) -> %s\n",
+              static_cast<unsigned long long>(total_stats.trials),
+              total_stats.wall_seconds,
+              bench::sci(total_stats.trials_per_second()).c_str(),
+              total_stats.threads, path.string().c_str());
+  if (args.json) {
+    exp::JsonObject root;
+    root.set("experiment", "montecarlo_validation")
+        .set("config", config)
+        .set("result", result)
+        .set("throughput", total_stats.to_json());
+    std::printf("%s\n", root.str(/*pretty=*/true).c_str());
+  }
   return 0;
 }

@@ -2,20 +2,28 @@
 // CRC-31 per line (and ECC-1 where applicable). Prints the analytical FIT
 // at the paper's operating point and a functional Monte-Carlo comparison
 // at an accelerated BER where every scheme's failures are observable.
+//
+// The MC section runs on the src/exp engine: each scheme's intervals shard
+// across the pool (one scheme instance per shard via a factory) with
+// per-trial seed streams, so counts are thread-count-invariant; the whole
+// comparison is written as a bench/out JSON artifact.
 #include <cstdio>
+#include <memory>
 
 #include "baselines/cppc_cache.h"
 #include "baselines/mc_runner.h"
 #include "baselines/raid6_cache.h"
 #include "baselines/twodp_cache.h"
 #include "bench_util.h"
+#include "exp/mc_experiments.h"
 #include "reliability/analytical.h"
 #include "reliability/montecarlo.h"
 
 using namespace sudoku;
 using namespace sudoku::reliability;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
   bench::print_header("Table XI: Comparing CPPC, RAID-6, 2DP with SuDoku");
 
   CacheParams c;
@@ -32,8 +40,12 @@ int main() {
       {"SuDoku-Z (mechanistic)", sudoku_z_due(c).fit(), "1.05e-4"},
   };
   std::printf("\n  %-24s %14s %12s\n", "Scheme", "FIT (ours)", "paper");
+  exp::JsonArray fit_rows;
   for (const auto& r : rows) {
     std::printf("  %-24s %14s %12s\n", r.name, bench::sci(r.fit).c_str(), r.paper);
+    exp::JsonObject jr;
+    jr.set("scheme", r.name).set("fit", r.fit).set("paper", r.paper);
+    fit_rows.push(jr);
   }
   std::printf("\n  note: our RAID-6 model (P+Q erasure pair, fails at 3 multi-bit\n"
               "  lines/group) yields a higher FIT than the paper's 571e3; the paper\n"
@@ -45,42 +57,48 @@ int main() {
       "Functional Monte-Carlo at accelerated BER (1 MB cache, 128-line groups, BER 1e-4)");
   baselines::BaselineMcConfig mcfg;
   mcfg.ber = 1e-4;
-  mcfg.max_intervals = 300;
-  mcfg.seed = 7;
+  mcfg.max_intervals = 300 * args.scale;
+  mcfg.seed = args.seed_or(7);
+
+  exp::ExpOptions opts;
+  opts.threads = args.threads;
+  exp::RunStats total_stats;
+  exp::JsonArray mc_rows;
 
   // 128-line groups: SuDoku-Z's skewed hash needs num_lines >= group^2.
   const std::uint64_t lines = 1u << 14;
   const std::uint32_t group = 128;
-  {
-    baselines::CppcCache s(lines);
-    const auto r = run_baseline_mc(s, mcfg);
-    std::printf("  %-24s failure intervals: %llu/%llu\n", s.name().c_str(),
+
+  const auto run_scheme = [&](const std::string& name,
+                              const exp::SchemeFactory& factory) {
+    exp::RunStats stats;
+    const auto r = exp::run_baseline_mc_parallel(factory, mcfg, opts, &stats);
+    total_stats += stats;
+    std::printf("  %-24s failure intervals: %llu/%llu\n", name.c_str(),
                 static_cast<unsigned long long>(r.failure_intervals),
                 static_cast<unsigned long long>(r.intervals));
-  }
-  {
-    baselines::Raid6Cache s(lines, group);
-    const auto r = run_baseline_mc(s, mcfg);
-    std::printf("  %-24s failure intervals: %llu/%llu\n", s.name().c_str(),
-                static_cast<unsigned long long>(r.failure_intervals),
-                static_cast<unsigned long long>(r.intervals));
-  }
-  {
-    // The paper's wording ("diagonal parity and row-wise parity") matches
-    // RDP; both constructions correct two erasures, so the counts agree.
-    baselines::Raid6Cache s(lines, group, baselines::Raid6Flavor::kRdp);
-    const auto r = run_baseline_mc(s, mcfg);
-    std::printf("  %-24s failure intervals: %llu/%llu\n", s.name().c_str(),
-                static_cast<unsigned long long>(r.failure_intervals),
-                static_cast<unsigned long long>(r.intervals));
-  }
-  {
-    baselines::TwoDpCache s(lines, group);
-    const auto r = run_baseline_mc(s, mcfg);
-    std::printf("  %-24s failure intervals: %llu/%llu\n", s.name().c_str(),
-                static_cast<unsigned long long>(r.failure_intervals),
-                static_cast<unsigned long long>(r.intervals));
-  }
+    exp::JsonObject jr;
+    jr.set("scheme", name)
+        .set("failure_intervals", r.failure_intervals)
+        .set("intervals", r.intervals)
+        .set("sdc_units", r.sdc_units);
+    mc_rows.push(jr);
+  };
+
+  run_scheme("CPPC+CRC-31",
+             [&] { return std::make_unique<baselines::CppcCache>(lines); });
+  run_scheme("RAID-6+CRC-31", [&] {
+    return std::make_unique<baselines::Raid6Cache>(lines, group);
+  });
+  // The paper's wording ("diagonal parity and row-wise parity") matches
+  // RDP; both constructions correct two erasures, so the counts agree.
+  run_scheme("RDP+CRC-31", [&] {
+    return std::make_unique<baselines::Raid6Cache>(lines, group,
+                                                   baselines::Raid6Flavor::kRdp);
+  });
+  run_scheme("2DP ECC-1+CRC-31", [&] {
+    return std::make_unique<baselines::TwoDpCache>(lines, group);
+  });
   {
     McConfig zc;
     zc.cache.num_lines = lines;
@@ -89,10 +107,43 @@ int main() {
     zc.level = SudokuLevel::kZ;
     zc.max_intervals = mcfg.max_intervals;
     zc.seed = mcfg.seed;
-    const auto r = run_montecarlo(zc);
+    exp::RunStats stats;
+    const auto r = exp::run_montecarlo_parallel(zc, opts, &stats);
+    total_stats += stats;
     std::printf("  %-24s failure intervals: %llu/%llu\n", "SuDoku-Z",
                 static_cast<unsigned long long>(r.failure_intervals),
                 static_cast<unsigned long long>(r.intervals));
+    exp::JsonObject jr;
+    jr.set("scheme", "SuDoku-Z")
+        .set("failure_intervals", r.failure_intervals)
+        .set("intervals", r.intervals)
+        .set("sdc_units", r.sdc_lines);
+    mc_rows.push(jr);
+  }
+
+  exp::JsonObject config;
+  config.set("ber", mcfg.ber)
+      .set("max_intervals", mcfg.max_intervals)
+      .set("seed", mcfg.seed)
+      .set("num_lines", lines)
+      .set("group_size", group);
+  exp::JsonObject result;
+  result.set("analytical_fit", fit_rows).set("montecarlo", mc_rows);
+
+  const exp::ResultSink sink(args.out_dir);
+  const auto path = sink.write("table11_baselines", config, result, total_stats);
+  std::printf("\n  %llu trials in %.2f s (%s trials/s, %u threads) -> %s\n",
+              static_cast<unsigned long long>(total_stats.trials),
+              total_stats.wall_seconds,
+              bench::sci(total_stats.trials_per_second()).c_str(),
+              total_stats.threads, path.string().c_str());
+  if (args.json) {
+    exp::JsonObject root;
+    root.set("experiment", "table11_baselines")
+        .set("config", config)
+        .set("result", result)
+        .set("throughput", total_stats.to_json());
+    std::printf("%s\n", root.str(/*pretty=*/true).c_str());
   }
   return 0;
 }

@@ -1,9 +1,15 @@
 // Small shared helpers for the table/figure reproduction binaries: aligned
-// row printing and scientific formatting that matches the paper's tables.
+// row printing, scientific formatting that matches the paper's tables, and
+// the shared --threads/--seed/--json command line handled by every
+// engine-backed bench (JSON emission itself lives in exp/json.h).
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+
+#include "exp/json.h"
 
 namespace sudoku::bench {
 
@@ -33,5 +39,56 @@ inline std::string fixed(double v, int digits) {
   std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
   return buf;
 }
+
+// Shared command line for the engine-backed benches:
+//   --threads=N   pool width (0 = one per hardware thread)
+//   --seed=S      base seed (0 = keep the bench's built-in default)
+//   --json        also dump the artifact JSON to stdout
+//   --out=DIR     artifact directory (default bench/out)
+//   --scale=K     multiply trial budgets by K (bare "K" also accepted,
+//                 matching the benches' legacy positional argument)
+struct BenchArgs {
+  std::uint64_t scale = 1;
+  unsigned threads = 0;
+  std::uint64_t seed = 0;
+  bool json = false;
+  std::string out_dir = "bench/out";
+
+  // Returns config.seed unless --seed overrode it.
+  std::uint64_t seed_or(std::uint64_t fallback) const {
+    return seed ? seed : fallback;
+  }
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto value_of = [&arg](const std::string& prefix) {
+        return arg.substr(prefix.size());
+      };
+      if (arg.rfind("--threads=", 0) == 0) {
+        args.threads = static_cast<unsigned>(std::stoul(value_of("--threads=")));
+      } else if (arg.rfind("--seed=", 0) == 0) {
+        args.seed = std::stoull(value_of("--seed="));
+      } else if (arg.rfind("--scale=", 0) == 0) {
+        args.scale = std::stoull(value_of("--scale="));
+      } else if (arg.rfind("--out=", 0) == 0) {
+        args.out_dir = value_of("--out=");
+      } else if (arg == "--json") {
+        args.json = true;
+      } else if (!arg.empty() && arg.find_first_not_of("0123456789") == std::string::npos) {
+        args.scale = std::stoull(arg);  // legacy positional scale
+      } else {
+        std::fprintf(stderr,
+                     "unknown argument '%s'\n"
+                     "usage: %s [--threads=N] [--seed=S] [--json] [--out=DIR] "
+                     "[--scale=K | K]\n",
+                     arg.c_str(), argv[0]);
+        std::exit(2);
+      }
+    }
+    return args;
+  }
+};
 
 }  // namespace sudoku::bench

@@ -12,8 +12,20 @@ double BaselineMcResult::fit(double interval_s) const {
   return p_failure_per_interval() * (kSecondsPerBillionHours / interval_s);
 }
 
+BaselineMcResult& BaselineMcResult::operator+=(const BaselineMcResult& other) {
+  intervals += other.intervals;
+  faults_injected += other.faults_injected;
+  corrected += other.corrected;
+  due_units += other.due_units;
+  sdc_units += other.sdc_units;
+  failure_intervals += other.failure_intervals;
+  return *this;
+}
+
 BaselineMcResult run_baseline_mc(CacheScheme& scheme, const BaselineMcConfig& config) {
-  Rng rng(config.seed);
+  Rng rng(config.per_trial_seed_streams
+              ? Rng::derive_stream_seed(config.seed, kFormatStream)
+              : config.seed);
   scheme.format_random(rng);
 
   // Golden snapshot for SDC detection and refills.
@@ -27,6 +39,11 @@ BaselineMcResult run_baseline_mc(CacheScheme& scheme, const BaselineMcConfig& co
   std::vector<std::uint64_t> touched;
 
   for (std::uint64_t interval = 0; interval < config.max_intervals; ++interval) {
+    if (config.stop_hook && config.stop_hook()) break;
+    if (config.per_trial_seed_streams) {
+      rng.reseed(
+          Rng::derive_stream_seed(config.seed, config.first_trial + interval));
+    }
     const auto batch = injector.sample_interval(rng);
     result.faults_injected += FaultInjector::count(batch);
     FaultInjector::apply(batch, scheme.array());

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "baselines/scheme.h"
 
@@ -15,6 +16,14 @@ struct BaselineMcConfig {
   std::uint64_t max_intervals = 1000;
   std::uint64_t target_failures = 0;  // stop early after N failing intervals
   std::uint64_t seed = 1;
+
+  // Experiment-engine hooks — same contract as reliability::McConfig: in
+  // per-trial-stream mode interval t is driven by an Rng seeded from
+  // Rng::derive_stream_seed(seed, first_trial + t) and formatting uses the
+  // reserved stream, so shard results are independent of thread count.
+  bool per_trial_seed_streams = false;
+  std::uint64_t first_trial = 0;
+  std::function<bool()> stop_hook;  // checked per interval; true = abandon
 };
 
 struct BaselineMcResult {
@@ -29,6 +38,9 @@ struct BaselineMcResult {
     return intervals ? static_cast<double>(failure_intervals) / intervals : 0.0;
   }
   double fit(double interval_s) const;
+
+  // Shard-merge reduction for the experiment engine: plain sums.
+  BaselineMcResult& operator+=(const BaselineMcResult& other);
 };
 
 BaselineMcResult run_baseline_mc(CacheScheme& scheme, const BaselineMcConfig& config);

@@ -9,20 +9,41 @@
 
 namespace sudoku {
 
+// One SplitMix64 step: advances `state` by the golden-ratio gamma and
+// returns a scrambled output. Used to expand seeds into xoshiro state and,
+// by the experiment engine, to derive independent per-trial seed streams.
+inline std::uint64_t splitmix64_next(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+// Reserved stream index (see Rng::derive_stream_seed): the experiment
+// engine formats golden array contents from this stream so that every
+// shard of an experiment holds identical data. Trial indices never reach
+// it.
+inline constexpr std::uint64_t kFormatStream = ~0ull;
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
 
   void reseed(std::uint64_t seed) {
     // SplitMix64 to expand the seed into the four state words.
-    auto next = [&seed]() {
-      seed += 0x9E3779B97F4A7C15ull;
-      std::uint64_t z = seed;
-      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-      return z ^ (z >> 31);
-    };
-    for (auto& w : s_) w = next();
+    for (auto& w : s_) w = splitmix64_next(seed);
+  }
+
+  // Seed of independent stream `index` under `base`. Stream seeds are
+  // SplitMix64 outputs at gamma-multiple offsets, scrambled once more so
+  // that adjacent trial indices share no state structure. `Rng(derive_
+  // stream_seed(base, i))` sequences are what make sharded Monte-Carlo
+  // runs bit-identical regardless of thread count (see src/exp).
+  static std::uint64_t derive_stream_seed(std::uint64_t base, std::uint64_t index) {
+    std::uint64_t state = base + index * 0x9E3779B97F4A7C15ull;
+    const std::uint64_t a = splitmix64_next(state);
+    return a ^ splitmix64_next(state);
   }
 
   std::uint64_t next_u64() {

@@ -1,0 +1,51 @@
+// The sharded experiment runner: fans a shard plan out over the thread
+// pool and merges results deterministically.
+//
+// Contract. `run(shard, early)` must return the shard's result computed
+// purely from the shard's trial range and the experiment's base seed (per-
+// trial seed streams), or std::nullopt if it abandoned the shard because
+// `early.triggered()` fired. Results must support `operator+=` and expose
+// a `failure_intervals` member. The merge walks shards in index order and
+// stops once `target_failures` is met, so the merged result depends only
+// on (plan, base seed, target) — not on thread count, scheduling, or which
+// shards were speculatively cancelled.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "exp/sharder.h"
+#include "exp/thread_pool.h"
+
+namespace sudoku::exp {
+
+template <typename Result, typename RunFn>
+Result run_sharded(ThreadPool& pool, const std::vector<Shard>& shards,
+                   std::uint64_t target_failures, RunFn&& run) {
+  EarlyStop early(shards.size(), target_failures);
+  std::vector<std::optional<Result>> outcomes(shards.size());
+
+  pool.parallel_for(shards.size(), [&](std::uint64_t k) {
+    // Once the completed prefix meets the target this shard is beyond the
+    // merge cutoff — skip it entirely.
+    if (early.triggered()) return;
+    std::optional<Result> r = run(shards[k], early);
+    if (r.has_value()) {
+      early.record(k, r->failure_intervals);
+      outcomes[k] = std::move(r);
+    }
+  });
+
+  Result merged{};
+  std::uint64_t failures = 0;
+  for (const auto& outcome : outcomes) {
+    if (!outcome.has_value()) break;  // cutoff always precedes skipped shards
+    merged += *outcome;
+    failures += outcome->failure_intervals;
+    if (target_failures != 0 && failures >= target_failures) break;
+  }
+  return merged;
+}
+
+}  // namespace sudoku::exp

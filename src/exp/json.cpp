@@ -1,0 +1,154 @@
+#include "exp/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace sudoku::exp {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);  // UTF-8 passes through untouched
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  // Integral values inside the exactly-representable range print as plain
+  // integers ("50", not "5e+01").
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+std::string json_number(std::uint64_t v) { return std::to_string(v); }
+std::string json_number(std::int64_t v) { return std::to_string(v); }
+
+namespace {
+
+std::string quoted(const std::string& s) { return '"' + json_escape(s) + '"'; }
+
+}  // namespace
+
+JsonObject& JsonObject::set_raw(const std::string& key, std::string rendered) {
+  members_.emplace_back(key, std::move(rendered));
+  return *this;
+}
+
+JsonObject& JsonObject::set(const std::string& key, const std::string& value) {
+  return set_raw(key, quoted(value));
+}
+JsonObject& JsonObject::set(const std::string& key, const char* value) {
+  return set_raw(key, quoted(value));
+}
+JsonObject& JsonObject::set(const std::string& key, double value) {
+  return set_raw(key, json_number(value));
+}
+JsonObject& JsonObject::set(const std::string& key, std::uint64_t value) {
+  return set_raw(key, json_number(value));
+}
+JsonObject& JsonObject::set(const std::string& key, std::int64_t value) {
+  return set_raw(key, json_number(value));
+}
+JsonObject& JsonObject::set(const std::string& key, int value) {
+  return set_raw(key, json_number(static_cast<std::int64_t>(value)));
+}
+JsonObject& JsonObject::set(const std::string& key, unsigned value) {
+  return set_raw(key, json_number(static_cast<std::uint64_t>(value)));
+}
+JsonObject& JsonObject::set(const std::string& key, bool value) {
+  return set_raw(key, value ? "true" : "false");
+}
+JsonObject& JsonObject::set(const std::string& key, const JsonObject& value) {
+  return set_raw(key, value.str());
+}
+JsonObject& JsonObject::set(const std::string& key, const JsonArray& value) {
+  return set_raw(key, value.str());
+}
+
+std::string JsonObject::str(bool pretty, int indent) const {
+  if (members_.empty()) return "{}";
+  const std::string pad(pretty ? 2 * (indent + 1) : 0, ' ');
+  const std::string close_pad(pretty ? 2 * indent : 0, ' ');
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : members_) {
+    if (!first) out += ',';
+    if (pretty) out += '\n' + pad;
+    out += quoted(key) + (pretty ? ": " : ":") + value;
+    first = false;
+  }
+  if (pretty) out += '\n' + close_pad;
+  out += '}';
+  return out;
+}
+
+JsonArray& JsonArray::push(const std::string& value) {
+  items_.push_back(quoted(value));
+  return *this;
+}
+JsonArray& JsonArray::push(const char* value) {
+  items_.push_back(quoted(value));
+  return *this;
+}
+JsonArray& JsonArray::push(double value) {
+  items_.push_back(json_number(value));
+  return *this;
+}
+JsonArray& JsonArray::push(std::uint64_t value) {
+  items_.push_back(json_number(value));
+  return *this;
+}
+JsonArray& JsonArray::push(bool value) {
+  items_.push_back(value ? "true" : "false");
+  return *this;
+}
+JsonArray& JsonArray::push(const JsonObject& value) {
+  items_.push_back(value.str());
+  return *this;
+}
+
+std::string JsonArray::str(bool pretty, int indent) const {
+  if (items_.empty()) return "[]";
+  const std::string pad(pretty ? 2 * (indent + 1) : 0, ' ');
+  const std::string close_pad(pretty ? 2 * indent : 0, ' ');
+  std::string out = "[";
+  bool first = true;
+  for (const auto& item : items_) {
+    if (!first) out += ',';
+    if (pretty) out += '\n' + pad;
+    out += item;
+    first = false;
+  }
+  if (pretty) out += '\n' + close_pad;
+  out += ']';
+  return out;
+}
+
+}  // namespace sudoku::exp

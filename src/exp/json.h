@@ -1,0 +1,65 @@
+// Minimal JSON emitter for experiment artifacts: ordered objects and
+// arrays of strings, booleans, integers and doubles. Doubles are printed
+// with the fewest significant digits that still parse back to exactly the
+// same value (round-trip safe), so artifacts can be diffed and re-read
+// without losing precision. No parser — artifacts are write-only here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sudoku::exp {
+
+// Escape for inclusion inside a JSON string literal (quotes not added).
+std::string json_escape(const std::string& s);
+
+// Shortest representation of v that strtod round-trips exactly. Non-finite
+// values (not representable in JSON) render as null.
+std::string json_number(double v);
+std::string json_number(std::uint64_t v);
+std::string json_number(std::int64_t v);
+
+class JsonArray;
+
+// Insertion-ordered JSON object builder. Values are rendered eagerly, so
+// the builder holds only strings.
+class JsonObject {
+ public:
+  JsonObject& set(const std::string& key, const std::string& value);
+  JsonObject& set(const std::string& key, const char* value);
+  JsonObject& set(const std::string& key, double value);
+  JsonObject& set(const std::string& key, std::uint64_t value);
+  JsonObject& set(const std::string& key, std::int64_t value);
+  JsonObject& set(const std::string& key, int value);
+  JsonObject& set(const std::string& key, unsigned value);
+  JsonObject& set(const std::string& key, bool value);
+  JsonObject& set(const std::string& key, const JsonObject& value);
+  JsonObject& set(const std::string& key, const JsonArray& value);
+
+  // Render compactly ({"k":v,...}) or pretty-printed with 2-space indent.
+  std::string str(bool pretty = false, int indent = 0) const;
+
+ private:
+  JsonObject& set_raw(const std::string& key, std::string rendered);
+  std::vector<std::pair<std::string, std::string>> members_;
+};
+
+class JsonArray {
+ public:
+  JsonArray& push(const std::string& value);
+  JsonArray& push(const char* value);
+  JsonArray& push(double value);
+  JsonArray& push(std::uint64_t value);
+  JsonArray& push(bool value);
+  JsonArray& push(const JsonObject& value);
+
+  std::size_t size() const { return items_.size(); }
+  std::string str(bool pretty = false, int indent = 0) const;
+
+ private:
+  std::vector<std::string> items_;
+};
+
+}  // namespace sudoku::exp

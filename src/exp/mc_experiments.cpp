@@ -1,0 +1,93 @@
+#include "exp/mc_experiments.h"
+
+#include <chrono>
+#include <optional>
+
+#include "exp/engine.h"
+#include "exp/sharder.h"
+#include "exp/thread_pool.h"
+
+namespace sudoku::exp {
+
+namespace {
+
+std::uint64_t resolve_chunk(const ExpOptions& options, std::uint64_t total) {
+  return options.chunk ? options.chunk : default_chunk(total);
+}
+
+// Runs `launch` (which receives the shard plan) under wall-clock timing
+// and fills `stats` from the merged result's interval count.
+template <typename Result, typename LaunchFn>
+Result timed_run(const ExpOptions& options, std::uint64_t total,
+                 RunStats* stats, LaunchFn&& launch) {
+  const std::uint64_t chunk = resolve_chunk(options, total);
+  const auto shards = make_shards(total, chunk);
+  ThreadPool pool(options.threads);
+  const auto t0 = std::chrono::steady_clock::now();
+  Result merged = launch(pool, shards);
+  const auto t1 = std::chrono::steady_clock::now();
+  if (stats) {
+    stats->trials = merged.intervals;
+    stats->wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+    stats->threads = pool.size();
+    stats->shards = shards.size();
+  }
+  return merged;
+}
+
+// Wraps one shard execution: installs the per-trial stream window, gives
+// the shard the global intra-shard target (bounds overshoot), and reports
+// std::nullopt when the shard was abandoned via the early-stop hook — the
+// caller must not record such partial results.
+template <typename Config, typename RunFn>
+auto run_shard(Config config, const Shard& shard, const EarlyStop& early,
+               RunFn&& run) -> std::optional<decltype(run(config))> {
+  config.per_trial_seed_streams = true;
+  config.first_trial = shard.first;
+  config.max_intervals = shard.count;
+  bool aborted = false;
+  config.stop_hook = [&early, &aborted] {
+    if (early.triggered()) aborted = true;
+    return aborted;
+  };
+  auto result = run(config);
+  if (aborted) return std::nullopt;
+  return result;
+}
+
+}  // namespace
+
+reliability::McResult run_montecarlo_parallel(const reliability::McConfig& config,
+                                              const ExpOptions& options,
+                                              RunStats* stats) {
+  return timed_run<reliability::McResult>(
+      options, config.max_intervals, stats, [&](ThreadPool& pool, const auto& shards) {
+        return run_sharded<reliability::McResult>(
+            pool, shards, config.target_failures,
+            [&](const Shard& shard, const EarlyStop& early) {
+              return run_shard(config, shard, early,
+                               [](const reliability::McConfig& c) {
+                                 return reliability::run_montecarlo(c);
+                               });
+            });
+      });
+}
+
+baselines::BaselineMcResult run_baseline_mc_parallel(
+    const SchemeFactory& factory, const baselines::BaselineMcConfig& config,
+    const ExpOptions& options, RunStats* stats) {
+  return timed_run<baselines::BaselineMcResult>(
+      options, config.max_intervals, stats, [&](ThreadPool& pool, const auto& shards) {
+        return run_sharded<baselines::BaselineMcResult>(
+            pool, shards, config.target_failures,
+            [&](const Shard& shard, const EarlyStop& early) {
+              return run_shard(config, shard, early,
+                               [&factory](const baselines::BaselineMcConfig& c) {
+                                 auto scheme = factory();
+                                 return baselines::run_baseline_mc(*scheme, c);
+                               });
+            });
+      });
+}
+
+}  // namespace sudoku::exp

@@ -1,0 +1,37 @@
+// Engine adapters for the two Monte-Carlo harnesses: shard the interval
+// budget, run each shard with per-trial seed streams on the work-stealing
+// pool, and merge deterministically. Merged counts are bit-identical for
+// any thread count (see docs/exp_engine.md for the exact contract).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "baselines/mc_runner.h"
+#include "baselines/scheme.h"
+#include "exp/result_sink.h"
+#include "reliability/montecarlo.h"
+
+namespace sudoku::exp {
+
+struct ExpOptions {
+  unsigned threads = 0;     // pool width; 0 = one per hardware thread
+  std::uint64_t chunk = 0;  // trials per shard; 0 = default_chunk(total)
+};
+
+// Parallel reliability::run_montecarlo. config.seed / max_intervals /
+// target_failures keep their sequential meanings; the per-trial-stream and
+// shard fields of `config` are managed by the engine and ignored on input.
+reliability::McResult run_montecarlo_parallel(const reliability::McConfig& config,
+                                              const ExpOptions& options = {},
+                                              RunStats* stats = nullptr);
+
+// Parallel baselines::run_baseline_mc. Each shard drives its own scheme
+// instance, so the caller provides a factory instead of a live scheme.
+using SchemeFactory = std::function<std::unique_ptr<baselines::CacheScheme>()>;
+baselines::BaselineMcResult run_baseline_mc_parallel(
+    const SchemeFactory& factory, const baselines::BaselineMcConfig& config,
+    const ExpOptions& options = {}, RunStats* stats = nullptr);
+
+}  // namespace sudoku::exp

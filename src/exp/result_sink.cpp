@@ -1,0 +1,38 @@
+#include "exp/result_sink.h"
+
+#include <fstream>
+
+namespace sudoku::exp {
+
+JsonObject RunStats::to_json() const {
+  JsonObject o;
+  o.set("trials", trials)
+      .set("wall_seconds", wall_seconds)
+      .set("trials_per_second", trials_per_second())
+      .set("threads", threads)
+      .set("shards", shards);
+  return o;
+}
+
+std::filesystem::path ResultSink::write(const std::string& name,
+                                        const JsonObject& config,
+                                        const JsonObject& result,
+                                        const RunStats& stats) const {
+  JsonObject root;
+  root.set("experiment", name)
+      .set("config", config)
+      .set("result", result)
+      .set("throughput", stats.to_json());
+  return write_raw(name, root);
+}
+
+std::filesystem::path ResultSink::write_raw(const std::string& name,
+                                            const JsonObject& root) const {
+  std::filesystem::create_directories(out_dir_);
+  const std::filesystem::path path = out_dir_ / (name + ".json");
+  std::ofstream out(path);
+  out << root.str(/*pretty=*/true) << '\n';
+  return path;
+}
+
+}  // namespace sudoku::exp

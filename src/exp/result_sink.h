@@ -1,0 +1,57 @@
+// ResultSink: every experiment writes one JSON artifact — config, merged
+// result, throughput — under bench/out/ (or a caller-chosen directory) so
+// later PRs can diff reliability numbers and track the perf trajectory.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "exp/json.h"
+
+namespace sudoku::exp {
+
+// Wall-clock accounting of one engine invocation.
+struct RunStats {
+  std::uint64_t trials = 0;     // intervals actually executed
+  double wall_seconds = 0.0;
+  unsigned threads = 0;
+  std::uint64_t shards = 0;
+
+  double trials_per_second() const {
+    return wall_seconds > 0.0 ? static_cast<double>(trials) / wall_seconds : 0.0;
+  }
+
+  RunStats& operator+=(const RunStats& other) {
+    trials += other.trials;
+    wall_seconds += other.wall_seconds;
+    threads = other.threads;  // last run's pool width
+    shards += other.shards;
+    return *this;
+  }
+
+  JsonObject to_json() const;
+};
+
+class ResultSink {
+ public:
+  explicit ResultSink(std::filesystem::path out_dir = "bench/out")
+      : out_dir_(std::move(out_dir)) {}
+
+  const std::filesystem::path& out_dir() const { return out_dir_; }
+
+  // Writes <out_dir>/<name>.json with {"experiment", "config", "result",
+  // "throughput"} and returns the path. Creates the directory as needed.
+  std::filesystem::path write(const std::string& name, const JsonObject& config,
+                              const JsonObject& result,
+                              const RunStats& stats) const;
+
+  // Escape hatch for artifacts that don't fit the config/result shape.
+  std::filesystem::path write_raw(const std::string& name,
+                                  const JsonObject& root) const;
+
+ private:
+  std::filesystem::path out_dir_;
+};
+
+}  // namespace sudoku::exp

@@ -1,0 +1,32 @@
+// Per-trial seed streams for the experiment engine. A SeedSequence maps a
+// base seed to an unbounded family of independent stream seeds via
+// SplitMix64 (Rng::derive_stream_seed); trial t of an experiment always
+// draws from stream t no matter which shard or thread executes it, which
+// is what makes engine results bit-identical regardless of thread count.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace sudoku::exp {
+
+class SeedSequence {
+ public:
+  explicit SeedSequence(std::uint64_t base) : base_(base) {}
+
+  std::uint64_t base() const { return base_; }
+
+  // Seed of stream `index` (one stream per trial index).
+  std::uint64_t stream(std::uint64_t index) const {
+    return Rng::derive_stream_seed(base_, index);
+  }
+
+  // Convenience: a generator positioned at the start of stream `index`.
+  Rng rng(std::uint64_t index) const { return Rng(stream(index)); }
+
+ private:
+  std::uint64_t base_;
+};
+
+}  // namespace sudoku::exp

@@ -1,0 +1,46 @@
+#include "exp/sharder.h"
+
+#include <algorithm>
+
+namespace sudoku::exp {
+
+std::vector<Shard> make_shards(std::uint64_t total, std::uint64_t chunk) {
+  chunk = std::max<std::uint64_t>(chunk, 1);
+  std::vector<Shard> shards;
+  shards.reserve(static_cast<std::size_t>((total + chunk - 1) / chunk));
+  for (std::uint64_t first = 0; first < total; first += chunk) {
+    shards.push_back({shards.size(), first, std::min(chunk, total - first)});
+  }
+  return shards;
+}
+
+std::uint64_t default_chunk(std::uint64_t total) {
+  return std::clamp<std::uint64_t>(total / 16, 64, 65536);
+}
+
+EarlyStop::EarlyStop(std::uint64_t num_shards, std::uint64_t target)
+    : target_(target),
+      failures_(num_shards, 0),
+      completed_(num_shards, false) {}
+
+void EarlyStop::record(std::uint64_t shard_index, std::uint64_t failures) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  failures_[shard_index] = failures;
+  completed_[shard_index] = true;
+  while (prefix_len_ < completed_.size() && completed_[prefix_len_]) {
+    prefix_failures_ += failures_[prefix_len_];
+    ++prefix_len_;
+  }
+}
+
+bool EarlyStop::triggered() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return target_ != 0 && prefix_failures_ >= target_;
+}
+
+std::uint64_t EarlyStop::prefix_failures() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return prefix_failures_;
+}
+
+}  // namespace sudoku::exp

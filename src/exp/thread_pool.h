@@ -1,0 +1,80 @@
+// Work-stealing thread pool for the experiment engine. Each worker owns a
+// deque — LIFO for the owner (cache-warm), FIFO for thieves — fed by a
+// global injector queue for tasks submitted from outside the pool. Workers
+// that find nothing locally scan the injector, then steal round-robin from
+// the other workers, then sleep until new work is announced.
+//
+// Determinism note: the pool schedules shards in whatever order the OS
+// lets it; reproducibility is the *engine's* job (per-trial seed streams +
+// order-independent merges, see engine.h) — nothing here is ordered.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sudoku::exp {
+
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  // 0 = one worker per hardware thread.
+  explicit ThreadPool(unsigned num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueue a task. From a worker thread it lands on that worker's own
+  // deque (LIFO end); from any other thread it goes to the injector.
+  void submit(Task task);
+
+  // Block until every task submitted so far has finished executing. Must
+  // not be called from inside a pool task.
+  void wait_idle();
+
+  // Run fn(0..n-1), each index as one pool task, and block until all have
+  // finished. Must not be called from inside a pool task.
+  void parallel_for(std::uint64_t n, const std::function<void(std::uint64_t)>& fn);
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  static unsigned hardware_threads() {
+    const unsigned n = std::thread::hardware_concurrency();
+    return n ? n : 1;
+  }
+
+ private:
+  struct Worker {
+    std::mutex mutex;
+    std::deque<Task> deque;  // owner pops back, thieves pop front
+  };
+
+  void worker_loop(unsigned index);
+  bool try_pop_local(unsigned index, Task& out);
+  bool try_pop_injector(Task& out);
+  bool try_steal(unsigned index, Task& out);
+  void finish_task();
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex injector_mutex_;  // also guards sleep/wake handshakes
+  std::condition_variable work_cv_;
+  std::deque<Task> injector_;
+  std::atomic<std::uint64_t> pending_{0};    // queued, not yet started
+  std::atomic<std::uint64_t> in_flight_{0};  // queued or executing
+  bool stop_ = false;
+
+  std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
+};
+
+}  // namespace sudoku::exp

@@ -17,6 +17,20 @@ double McResult::mttf_seconds(double interval_s) const {
   return p > 0 ? interval_s / p : 1e300;
 }
 
+McResult& McResult::operator+=(const McResult& other) {
+  intervals += other.intervals;
+  faults_injected += other.faults_injected;
+  ecc1_corrections += other.ecc1_corrections;
+  raid4_repairs += other.raid4_repairs;
+  sdr_repairs += other.sdr_repairs;
+  hash2_invocations += other.hash2_invocations;
+  groups_repaired += other.groups_repaired;
+  due_lines += other.due_lines;
+  sdc_lines += other.sdc_lines;
+  failure_intervals += other.failure_intervals;
+  return *this;
+}
+
 std::string McResult::summary() const {
   std::ostringstream os;
   os << "intervals=" << intervals << " faults=" << faults_injected
@@ -34,7 +48,12 @@ McResult run_montecarlo(const McConfig& config) {
   ctrl_cfg.level = config.level;
   SudokuController ctrl(ctrl_cfg);
 
-  Rng rng(config.seed);
+  // In per-trial-stream mode formatting uses the reserved stream so every
+  // shard of an experiment holds identical golden contents; the same Rng
+  // object is then reseeded per interval from that trial's stream.
+  Rng rng(config.per_trial_seed_streams
+              ? Rng::derive_stream_seed(config.seed, kFormatStream)
+              : config.seed);
   // Golden copy of every stored codeword for SDC detection and refill.
   SttramArray golden(config.cache.num_lines, ctrl.codec().total_bits());
   ctrl.format([&](std::uint64_t line) {
@@ -51,6 +70,11 @@ McResult run_montecarlo(const McConfig& config) {
   McResult result;
   std::vector<std::uint64_t> touched;
   for (std::uint64_t interval = 0; interval < config.max_intervals; ++interval) {
+    if (config.stop_hook && config.stop_hook()) break;
+    if (config.per_trial_seed_streams) {
+      rng.reseed(
+          Rng::derive_stream_seed(config.seed, config.first_trial + interval));
+    }
     const auto batch = injector.sample_interval(rng);
     result.faults_injected += FaultInjector::count(batch);
     FaultInjector::apply(batch, ctrl.array());

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "reliability/analytical.h"
@@ -38,6 +39,20 @@ struct McConfig {
   // tests and bench_ablation_features.
   std::uint64_t host_writes_per_interval = 0;
   double wer = 0.0;
+
+  // ---- experiment-engine hooks (src/exp) ----
+  // When set, interval t draws all of its randomness from a fresh Rng
+  // seeded with Rng::derive_stream_seed(seed, first_trial + t), and the
+  // golden formatting uses the reserved kFormatStream. A shard covering
+  // trials [first_trial, first_trial + max_intervals) then depends only on
+  // (seed, trial indices) — not on thread count or on how earlier shards
+  // went — which is the engine's bit-reproducibility contract.
+  bool per_trial_seed_streams = false;
+  std::uint64_t first_trial = 0;
+  // Checked before each interval; return true to abandon the run. The
+  // engine only fires this for shards whose results its deterministic
+  // merge will discard, so cancellation can never change a merged result.
+  std::function<bool()> stop_hook;
 };
 
 struct McResult {
@@ -59,6 +74,9 @@ struct McResult {
   double mttf_seconds(double interval_s) const;
 
   std::string summary() const;
+
+  // Shard-merge reduction for the experiment engine: plain sums.
+  McResult& operator+=(const McResult& other);
 };
 
 McResult run_montecarlo(const McConfig& config);

@@ -1,0 +1,124 @@
+// Covers the shared bench plumbing: the exp JSON emitter (escaping and
+// round-trip-exact number formatting) and the --threads/--seed/--json arg
+// parser in bench_util.h.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "bench_util.h"
+#include "exp/json.h"
+#include "exp/result_sink.h"
+
+namespace sudoku::exp {
+namespace {
+
+TEST(JsonEscape, ControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(json_escape("line\nbreak\ttab\r"), "line\\nbreak\\ttab\\r");
+  EXPECT_EQ(json_escape(std::string("nul\x01" "byte")), "nul\\u0001byte");
+  EXPECT_EQ(json_escape("utf8 \xc3\xa9"), "utf8 \xc3\xa9");  // passthrough
+}
+
+TEST(JsonNumber, ScientificValuesRoundTripExactly) {
+  const double values[] = {0.0,       1.0,     -1.0,         0.1,
+                           5.3e-6,    1e-300,  -2.5e17,      3.141592653589793,
+                           1.8e14,    2e-31,   1.0 / 3.0,    6.02214076e23};
+  for (const double v : values) {
+    const std::string s = json_number(v);
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+  }
+}
+
+TEST(JsonNumber, PrefersShortRepresentations) {
+  EXPECT_EQ(json_number(0.0), "0");
+  EXPECT_EQ(json_number(1.0), "1");
+  EXPECT_EQ(json_number(0.5), "0.5");
+  EXPECT_EQ(json_number(std::uint64_t{18446744073709551615ull}),
+            "18446744073709551615");
+}
+
+TEST(JsonNumber, NonFiniteBecomesNull) {
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "null");
+}
+
+TEST(JsonObject, PreservesInsertionOrderAndTypes) {
+  JsonObject o;
+  o.set("name", "mc").set("trials", std::uint64_t{42}).set("ok", true).set("p", 0.25);
+  EXPECT_EQ(o.str(), "{\"name\":\"mc\",\"trials\":42,\"ok\":true,\"p\":0.25}");
+}
+
+TEST(JsonObject, NestedObjectsAndArrays) {
+  JsonObject inner;
+  inner.set("a", 1);
+  JsonArray arr;
+  arr.push(std::uint64_t{1}).push("two").push(inner);
+  JsonObject o;
+  o.set("items", arr).set("empty", JsonObject{});
+  EXPECT_EQ(o.str(), "{\"items\":[1,\"two\",{\"a\":1}],\"empty\":{}}");
+}
+
+TEST(JsonObject, PrettyPrintsOneMemberPerLine) {
+  JsonObject o;
+  o.set("a", 1).set("b", 2);
+  EXPECT_EQ(o.str(true), "{\n  \"a\": 1,\n  \"b\": 2\n}");
+}
+
+TEST(ResultSinkTest, WritesArtifactUnderOutDir) {
+  const auto dir = std::filesystem::temp_directory_path() / "sudoku_exp_test_out";
+  std::filesystem::remove_all(dir);
+  const ResultSink sink(dir);
+  JsonObject config, result;
+  config.set("seed", std::uint64_t{9});
+  result.set("failures", std::uint64_t{3});
+  RunStats stats;
+  stats.trials = 100;
+  stats.wall_seconds = 2.0;
+  stats.threads = 4;
+  stats.shards = 7;
+  const auto path = sink.write("unit_test", config, result, stats);
+  EXPECT_EQ(path, dir / "unit_test.json");
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  EXPECT_NE(text.find("\"experiment\": \"unit_test\""), std::string::npos);
+  EXPECT_NE(text.find("\"trials_per_second\":50"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(BenchArgs, ParsesSharedFlags) {
+  const char* argv[] = {"bench", "--threads=8", "--seed=1234", "--json",
+                        "--out=/tmp/x", "--scale=3"};
+  const auto args = bench::BenchArgs::parse(6, const_cast<char**>(argv));
+  EXPECT_EQ(args.threads, 8u);
+  EXPECT_EQ(args.seed, 1234u);
+  EXPECT_TRUE(args.json);
+  EXPECT_EQ(args.out_dir, "/tmp/x");
+  EXPECT_EQ(args.scale, 3u);
+}
+
+TEST(BenchArgs, LegacyPositionalScaleAndDefaults) {
+  const char* argv[] = {"bench", "7"};
+  const auto args = bench::BenchArgs::parse(2, const_cast<char**>(argv));
+  EXPECT_EQ(args.scale, 7u);
+  EXPECT_EQ(args.threads, 0u);
+  EXPECT_FALSE(args.json);
+  EXPECT_EQ(args.out_dir, "bench/out");
+  EXPECT_EQ(args.seed_or(99), 99u);
+}
+
+TEST(BenchArgs, SeedOverrideWinsOverFallback) {
+  const char* argv[] = {"bench", "--seed=5"};
+  const auto args = bench::BenchArgs::parse(2, const_cast<char**>(argv));
+  EXPECT_EQ(args.seed_or(99), 5u);
+}
+
+}  // namespace
+}  // namespace sudoku::exp

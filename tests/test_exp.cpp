@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "baselines/cppc_cache.h"
+#include "exp/engine.h"
+#include "exp/mc_experiments.h"
+#include "exp/seed_stream.h"
+#include "exp/sharder.h"
+#include "exp/thread_pool.h"
+
+namespace sudoku::exp {
+namespace {
+
+using reliability::McConfig;
+using reliability::McResult;
+
+// Small accelerated configuration with observable failure rates so the
+// determinism assertions exercise every correction path, in CI time.
+McConfig accel_config() {
+  McConfig cfg;
+  cfg.cache.num_lines = 1ull << 12;
+  cfg.cache.group_size = 64;
+  cfg.cache.ber = 2e-4;
+  cfg.level = SudokuLevel::kX;
+  cfg.max_intervals = 200;
+  cfg.seed = 42;
+  return cfg;
+}
+
+void expect_identical(const McResult& a, const McResult& b) {
+  EXPECT_EQ(a.intervals, b.intervals);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.ecc1_corrections, b.ecc1_corrections);
+  EXPECT_EQ(a.raid4_repairs, b.raid4_repairs);
+  EXPECT_EQ(a.sdr_repairs, b.sdr_repairs);
+  EXPECT_EQ(a.hash2_invocations, b.hash2_invocations);
+  EXPECT_EQ(a.groups_repaired, b.groups_repaired);
+  EXPECT_EQ(a.due_lines, b.due_lines);
+  EXPECT_EQ(a.sdc_lines, b.sdc_lines);
+  EXPECT_EQ(a.failure_intervals, b.failure_intervals);
+}
+
+// ---- seed streams ----------------------------------------------------
+
+TEST(SeedStream, DeterministicAndDistinct) {
+  const SeedSequence seq(123);
+  EXPECT_EQ(seq.stream(0), SeedSequence(123).stream(0));
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 1000; ++i) seeds.insert(seq.stream(i));
+  EXPECT_EQ(seeds.size(), 1000u);  // no collisions among trial streams
+  EXPECT_NE(seq.stream(0), SeedSequence(124).stream(0));
+}
+
+TEST(SeedStream, FormatStreamOutsideTrialRange) {
+  const SeedSequence seq(7);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_NE(seq.stream(i), seq.stream(kFormatStream));
+  }
+}
+
+// ---- sharder ---------------------------------------------------------
+
+TEST(Sharder, CoversRangeExactly) {
+  const auto shards = make_shards(1000, 64);
+  ASSERT_EQ(shards.size(), 16u);
+  std::uint64_t next = 0;
+  for (const auto& s : shards) {
+    EXPECT_EQ(s.index, static_cast<std::uint64_t>(&s - shards.data()));
+    EXPECT_EQ(s.first, next);
+    next += s.count;
+  }
+  EXPECT_EQ(next, 1000u);
+  EXPECT_EQ(shards.back().count, 1000u - 15 * 64);
+}
+
+TEST(Sharder, EmptyAndOversizedChunks) {
+  EXPECT_TRUE(make_shards(0, 64).empty());           // empty plan
+  const auto one = make_shards(10, 1000);            // chunk > total
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].count, 10u);
+  EXPECT_EQ(make_shards(10, 0).size(), 10u);         // chunk clamped to 1
+}
+
+TEST(Sharder, DefaultChunkIsPureAndBounded) {
+  EXPECT_EQ(default_chunk(100), default_chunk(100));
+  EXPECT_EQ(default_chunk(100), 64u);                // floor
+  EXPECT_EQ(default_chunk(1u << 24), 65536u);        // ceiling
+  EXPECT_EQ(default_chunk(3200), 200u);              // total / 16
+}
+
+TEST(EarlyStopTracker, TriggersOnlyOnContiguousPrefix) {
+  EarlyStop early(4, 5);
+  EXPECT_FALSE(early.triggered());
+  early.record(2, 100);  // out of order: not part of the prefix yet
+  EXPECT_FALSE(early.triggered());
+  early.record(0, 3);
+  EXPECT_FALSE(early.triggered());  // prefix [0,1) has 3 < 5
+  early.record(1, 2);               // prefix extends through shard 2
+  EXPECT_TRUE(early.triggered());
+  EXPECT_EQ(early.prefix_failures(), 105u);
+}
+
+TEST(EarlyStopTracker, ZeroTargetNeverTriggers) {
+  EarlyStop early(2, 0);
+  early.record(0, 50);
+  early.record(1, 50);
+  EXPECT_FALSE(early.triggered());
+}
+
+// ---- thread pool -----------------------------------------------------
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversEachIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(hits.size(), [&](std::uint64_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, NestedSubmitFromWorker) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&] {
+      // Lands on the submitting worker's own deque; thieves may take it.
+      pool.submit([&] { count.fetch_add(1); });
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 10);
+}
+
+// ---- engine determinism ----------------------------------------------
+
+TEST(ExpEngine, McResultIdenticalAcrossThreadCounts) {
+  const auto cfg = accel_config();
+  RunStats s1;
+  const auto r1 = run_montecarlo_parallel(cfg, {.threads = 1, .chunk = 32}, &s1);
+  const auto r2 = run_montecarlo_parallel(cfg, {.threads = 2, .chunk = 32});
+  const auto r8 = run_montecarlo_parallel(cfg, {.threads = 8, .chunk = 32});
+  EXPECT_EQ(r1.intervals, cfg.max_intervals);
+  EXPECT_GT(r1.failure_intervals, 0u);  // the comparison must see events
+  expect_identical(r1, r2);
+  expect_identical(r1, r8);
+  EXPECT_EQ(s1.trials, cfg.max_intervals);
+  EXPECT_EQ(s1.threads, 1u);
+  EXPECT_GT(s1.wall_seconds, 0.0);
+}
+
+TEST(ExpEngine, BaselineResultIdenticalAcrossThreadCounts) {
+  baselines::BaselineMcConfig cfg;
+  cfg.ber = 2e-4;
+  cfg.max_intervals = 96;
+  cfg.seed = 5;
+  const SchemeFactory factory = [] {
+    return std::make_unique<baselines::CppcCache>(1ull << 12);
+  };
+  const auto r1 = run_baseline_mc_parallel(factory, cfg, {.threads = 1, .chunk = 16});
+  const auto r8 = run_baseline_mc_parallel(factory, cfg, {.threads = 8, .chunk = 16});
+  EXPECT_EQ(r1.intervals, cfg.max_intervals);
+  EXPECT_GT(r1.failure_intervals, 0u);  // CPPC fails nearly every interval
+  EXPECT_EQ(r1.faults_injected, r8.faults_injected);
+  EXPECT_EQ(r1.corrected, r8.corrected);
+  EXPECT_EQ(r1.due_units, r8.due_units);
+  EXPECT_EQ(r1.sdc_units, r8.sdc_units);
+  EXPECT_EQ(r1.failure_intervals, r8.failure_intervals);
+}
+
+TEST(ExpEngine, EarlyStopIsDeterministicAcrossThreadCounts) {
+  auto cfg = accel_config();
+  cfg.cache.ber = 5e-4;  // nearly every interval fails
+  cfg.max_intervals = 10000;
+  cfg.target_failures = 12;
+  const auto r1 = run_montecarlo_parallel(cfg, {.threads = 1, .chunk = 8});
+  const auto r8 = run_montecarlo_parallel(cfg, {.threads = 8, .chunk = 8});
+  EXPECT_GE(r1.failure_intervals, cfg.target_failures);
+  EXPECT_LT(r1.intervals, cfg.max_intervals);  // stopped far before budget
+  expect_identical(r1, r8);
+}
+
+TEST(ExpEngine, ZeroIntervalsYieldsEmptyResult) {
+  auto cfg = accel_config();
+  cfg.max_intervals = 0;  // empty shard plan
+  const auto r = run_montecarlo_parallel(cfg, {.threads = 4});
+  EXPECT_EQ(r.intervals, 0u);
+  EXPECT_EQ(r.faults_injected, 0u);
+  EXPECT_EQ(r.failure_intervals, 0u);
+}
+
+TEST(ExpEngine, SingleOversizedShard) {
+  auto cfg = accel_config();
+  cfg.max_intervals = 40;
+  // chunk far beyond the budget: the whole run is one shard.
+  const auto r1 = run_montecarlo_parallel(cfg, {.threads = 1, .chunk = 100000});
+  const auto r4 = run_montecarlo_parallel(cfg, {.threads = 4, .chunk = 100000});
+  EXPECT_EQ(r1.intervals, 40u);
+  expect_identical(r1, r4);
+}
+
+TEST(ExpEngine, McResultMergeSumsAllCounters) {
+  McResult a, b;
+  a.intervals = 3;
+  a.faults_injected = 10;
+  a.due_lines = 1;
+  a.failure_intervals = 1;
+  b.intervals = 4;
+  b.faults_injected = 20;
+  b.sdc_lines = 2;
+  b.failure_intervals = 2;
+  a += b;
+  EXPECT_EQ(a.intervals, 7u);
+  EXPECT_EQ(a.faults_injected, 30u);
+  EXPECT_EQ(a.due_lines, 1u);
+  EXPECT_EQ(a.sdc_lines, 2u);
+  EXPECT_EQ(a.failure_intervals, 3u);
+}
+
+// run_sharded with a synthetic workload: shard results are pure functions
+// of the shard range, so the merge must be reproducible under any pool.
+struct ToyResult {
+  std::uint64_t sum = 0;
+  std::uint64_t failure_intervals = 0;
+  ToyResult& operator+=(const ToyResult& o) {
+    sum += o.sum;
+    failure_intervals += o.failure_intervals;
+    return *this;
+  }
+};
+
+TEST(ExpEngine, RunShardedMergesInShardOrderWithCutoff) {
+  const auto shards = make_shards(100, 10);
+  ThreadPool pool(4);
+  const auto run = [](const Shard& s, const EarlyStop&) {
+    ToyResult r;
+    for (std::uint64_t t = s.first; t < s.first + s.count; ++t) r.sum += t;
+    r.failure_intervals = 1;  // every shard "fails" once
+    return std::optional<ToyResult>(r);
+  };
+  const auto all = run_sharded<ToyResult>(pool, shards, 0, run);
+  EXPECT_EQ(all.sum, 99u * 100u / 2);
+  EXPECT_EQ(all.failure_intervals, 10u);
+
+  // target 3 => merge exactly shards 0..2 regardless of execution order.
+  const auto cut = run_sharded<ToyResult>(pool, shards, 3, run);
+  EXPECT_EQ(cut.failure_intervals, 3u);
+  EXPECT_EQ(cut.sum, 29u * 30u / 2);
+}
+
+}  // namespace
+}  // namespace sudoku::exp
