@@ -15,6 +15,7 @@
 
 #include "bench_util.h"
 #include "exp/mc_experiments.h"
+#include "exp/metrics_io.h"
 #include "reliability/analytical.h"
 #include "reliability/montecarlo.h"
 
@@ -30,7 +31,8 @@ struct Case {
 };
 
 exp::JsonObject validate(const Case& c, const bench::BenchArgs& args,
-                         exp::RunStats& total_stats) {
+                         exp::RunStats& total_stats,
+                         obs::MetricsRegistry& total_metrics) {
   McConfig cfg;
   cfg.cache.num_lines = 1u << 12;
   cfg.cache.group_size = 64;
@@ -44,6 +46,7 @@ exp::JsonObject validate(const Case& c, const bench::BenchArgs& args,
   exp::RunStats stats;
   const auto mc = exp::run_montecarlo_parallel(cfg, opts, &stats);
   total_stats += stats;
+  total_metrics += mc.metrics;
 
   FitResult an{};
   switch (c.level) {
@@ -89,19 +92,20 @@ int main(int argc, char** argv) {
 
   bench::print_header("Monte-Carlo vs analytical (256 KB cache, 64-line groups)");
   exp::RunStats total_stats;
+  obs::MetricsRegistry total_metrics;
   exp::JsonArray rows;
 
   std::printf("\n  SuDoku-X (failures ~ groups with two 2-fault lines):\n");
-  rows.push(validate(cases[0], args, total_stats));
-  rows.push(validate(cases[1], args, total_stats));
+  rows.push(validate(cases[0], args, total_stats, total_metrics));
+  rows.push(validate(cases[1], args, total_stats, total_metrics));
 
   std::printf("\n  SuDoku-Y (failures need 3+3-fault pairs / full overlaps):\n");
-  rows.push(validate(cases[2], args, total_stats));
-  rows.push(validate(cases[3], args, total_stats));
+  rows.push(validate(cases[2], args, total_stats, total_metrics));
+  rows.push(validate(cases[3], args, total_stats, total_metrics));
 
   std::printf("\n  SuDoku-Z (failures need hard 4-cycles; at the Y-failure BER the\n");
   std::printf("  MC should show far fewer events than Y):\n");
-  rows.push(validate(cases[4], args, total_stats));
+  rows.push(validate(cases[4], args, total_stats, total_metrics));
 
   std::printf("\n  The analytical models capture the leading-order failure modes;\n");
   std::printf("  MC includes every higher-order interaction, so modest (<2x)\n");
@@ -116,18 +120,16 @@ int main(int argc, char** argv) {
   result.set("cases", rows);
 
   const exp::ResultSink sink(args.out_dir);
-  const auto path = sink.write("montecarlo_validation", config, result, total_stats);
+  const auto path = sink.write("montecarlo_validation", config, result, total_stats,
+                               &total_metrics);
   std::printf("\n  %llu trials in %.2f s (%s trials/s, %u threads) -> %s\n",
               static_cast<unsigned long long>(total_stats.trials),
               total_stats.wall_seconds,
               bench::sci(total_stats.trials_per_second()).c_str(),
               total_stats.threads, path.string().c_str());
   if (args.json) {
-    exp::JsonObject root;
-    root.set("experiment", "montecarlo_validation")
-        .set("config", config)
-        .set("result", result)
-        .set("throughput", total_stats.to_json());
+    const auto root = exp::ResultSink::make_root("montecarlo_validation", config,
+                                                 result, total_stats, &total_metrics);
     std::printf("%s\n", root.str(/*pretty=*/true).c_str());
   }
   return 0;

@@ -16,6 +16,7 @@
 #include "baselines/twodp_cache.h"
 #include "bench_util.h"
 #include "exp/mc_experiments.h"
+#include "exp/metrics_io.h"
 #include "reliability/analytical.h"
 #include "reliability/montecarlo.h"
 
@@ -63,6 +64,7 @@ int main(int argc, char** argv) {
   exp::ExpOptions opts;
   opts.threads = args.threads;
   exp::RunStats total_stats;
+  obs::MetricsRegistry total_metrics;
   exp::JsonArray mc_rows;
 
   // 128-line groups: SuDoku-Z's skewed hash needs num_lines >= group^2.
@@ -74,6 +76,7 @@ int main(int argc, char** argv) {
     exp::RunStats stats;
     const auto r = exp::run_baseline_mc_parallel(factory, mcfg, opts, &stats);
     total_stats += stats;
+    total_metrics += r.metrics;
     std::printf("  %-24s failure intervals: %llu/%llu\n", name.c_str(),
                 static_cast<unsigned long long>(r.failure_intervals),
                 static_cast<unsigned long long>(r.intervals));
@@ -110,6 +113,7 @@ int main(int argc, char** argv) {
     exp::RunStats stats;
     const auto r = exp::run_montecarlo_parallel(zc, opts, &stats);
     total_stats += stats;
+    total_metrics += r.metrics;
     std::printf("  %-24s failure intervals: %llu/%llu\n", "SuDoku-Z",
                 static_cast<unsigned long long>(r.failure_intervals),
                 static_cast<unsigned long long>(r.intervals));
@@ -131,18 +135,16 @@ int main(int argc, char** argv) {
   result.set("analytical_fit", fit_rows).set("montecarlo", mc_rows);
 
   const exp::ResultSink sink(args.out_dir);
-  const auto path = sink.write("table11_baselines", config, result, total_stats);
+  const auto path =
+      sink.write("table11_baselines", config, result, total_stats, &total_metrics);
   std::printf("\n  %llu trials in %.2f s (%s trials/s, %u threads) -> %s\n",
               static_cast<unsigned long long>(total_stats.trials),
               total_stats.wall_seconds,
               bench::sci(total_stats.trials_per_second()).c_str(),
               total_stats.threads, path.string().c_str());
   if (args.json) {
-    exp::JsonObject root;
-    root.set("experiment", "table11_baselines")
-        .set("config", config)
-        .set("result", result)
-        .set("throughput", total_stats.to_json());
+    const auto root = exp::ResultSink::make_root("table11_baselines", config, result,
+                                                 total_stats, &total_metrics);
     std::printf("%s\n", root.str(/*pretty=*/true).c_str());
   }
   return 0;

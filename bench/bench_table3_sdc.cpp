@@ -12,6 +12,7 @@
 
 #include "bench_util.h"
 #include "exp/mc_experiments.h"
+#include "exp/metrics_io.h"
 #include "reliability/analytical.h"
 #include "reliability/montecarlo.h"
 
@@ -81,14 +82,11 @@ int main(int argc, char** argv) {
       .set("mc_sdc_lines", mc.sdc_lines);
 
   const exp::ResultSink sink(args.out_dir);
-  const auto path = sink.write("table3_sdc", config, result, stats);
+  const auto path = sink.write("table3_sdc", config, result, stats, &mc.metrics);
   std::printf("  artifact: %s\n", path.string().c_str());
   if (args.json) {
-    exp::JsonObject root;
-    root.set("experiment", "table3_sdc")
-        .set("config", config)
-        .set("result", result)
-        .set("throughput", stats.to_json());
+    const auto root =
+        exp::ResultSink::make_root("table3_sdc", config, result, stats, &mc.metrics);
     std::printf("%s\n", root.str(/*pretty=*/true).c_str());
   }
   return mc.sdc_lines == 0 ? 0 : 1;

@@ -2,16 +2,27 @@
 // ECC-5, ECC-6 and SuDoku-Z. The BER-per-scrub values come straight from
 // the paper's row (themselves consistent with Eq. 1's near-linear scaling);
 // the device model's own BER at each interval is printed for comparison.
+//
+// The analytical rows are backed by a functional shape check: the
+// continuous-time scrub engine runs at a fixed per-second fault rate under
+// each interval, so a doubled interval must roughly double the corrections
+// per sweep (longer exposure windows). Per-interval scrub.* / sudoku.*
+// series land in the bench/out artifact's metrics section.
+#include <chrono>
 #include <cstdio>
 
 #include "bench_util.h"
+#include "exp/metrics_io.h"
+#include "exp/result_sink.h"
 #include "reliability/analytical.h"
 #include "sttram/device_model.h"
+#include "sudoku/scrubber.h"
 
 using namespace sudoku;
 using namespace sudoku::reliability;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
   bench::print_header("Table VIII: FIT-Rate vs Scrub Intervals (default: 20ms)");
 
   struct Row {
@@ -27,6 +38,7 @@ int main() {
       {0.04, 1.09e-5, "6870", "6.76", "0.04"},
   };
 
+  exp::JsonArray fit_rows;
   std::printf("\n  %-8s %10s %12s | %10s %8s | %10s %9s | %12s %10s\n", "Scrub",
               "BER/scrub", "model BER", "ECC-5", "paper", "ECC-6", "paper",
               "SuDoku-Z(strict)", "paper");
@@ -36,13 +48,88 @@ int main() {
     c.scrub_interval_s = r.interval_s;
     ThermalParams tp;
     const double model_ber = effective_ber(tp, r.interval_s);
+    const double fit5 = ecc_k(c, 5).fit();
+    const double fit6 = ecc_k(c, 6).fit();
+    const double fitz = sudoku_z_due(c, SdrModel::kStrict).fit();
     std::printf("  %4.0fms %11s %12s | %10s %8s | %10s %9s | %12s %10s\n",
                 r.interval_s * 1e3, bench::sci(r.ber).c_str(),
-                bench::sci(model_ber).c_str(), bench::sci(ecc_k(c, 5).fit()).c_str(),
-                r.paper_ecc5, bench::sci(ecc_k(c, 6).fit()).c_str(), r.paper_ecc6,
-                bench::sci(sudoku_z_due(c, SdrModel::kStrict).fit()).c_str(), r.paper_z);
+                bench::sci(model_ber).c_str(), bench::sci(fit5).c_str(),
+                r.paper_ecc5, bench::sci(fit6).c_str(), r.paper_ecc6,
+                bench::sci(fitz).c_str(), r.paper_z);
+    exp::JsonObject jr;
+    jr.set("interval_s", r.interval_s)
+        .set("ber_per_scrub", r.ber)
+        .set("model_ber", model_ber)
+        .set("fit_ecc5", fit5)
+        .set("fit_ecc6", fit6)
+        .set("fit_sudoku_z_strict", fitz);
+    fit_rows.push(jr);
   }
   std::printf("\n  shape check: ECC-5 violates the 1-FIT target even at 10ms;\n");
   std::printf("  SuDoku-Z holds it at 40ms (paper's central Table VIII claim).\n");
+
+  bench::print_header(
+      "Functional shape check: corrections per sweep vs interval (fixed fault rate)");
+  // Accelerated fixed per-second per-bit rate; only the interval varies, so
+  // the exposure window — and with it the corrections per sweep — must
+  // scale roughly linearly with the interval, mirroring Eq. 1's regime.
+  const double rate = 2e-4 / 0.02;
+  const std::uint32_t intervals = static_cast<std::uint32_t>(30 * args.scale);
+  obs::MetricsRegistry metrics;
+  exp::JsonArray scrub_rows;
+  std::uint64_t total_lines = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::printf("\n  %-10s %14s %18s\n", "interval", "corrections", "corrections/sweep");
+  for (const auto& r : rows) {
+    SudokuConfig cfg;
+    cfg.geo.num_lines = 4096;
+    cfg.geo.group_size = 64;
+    cfg.level = SudokuLevel::kZ;
+    SudokuController ctrl(cfg);
+    ctrl.attach_metrics(&metrics);
+    Rng rng(args.seed_or(21));
+    ctrl.format_random(rng);
+    ScrubSchedule sched;
+    sched.interval_s = r.interval_s;
+    const auto s = run_continuous_scrub(ctrl, sched, rate, 8, intervals, rng, &metrics);
+    const double per_sweep =
+        s.sweeps > 0 ? static_cast<double>(s.ecc1_corrections) / s.sweeps : 0.0;
+    std::printf("  %6.0fms %14llu %18.1f\n", r.interval_s * 1e3,
+                static_cast<unsigned long long>(s.ecc1_corrections), per_sweep);
+    exp::JsonObject jr;
+    jr.set("interval_s", r.interval_s)
+        .set("sweeps", s.sweeps)
+        .set("ecc1_corrections", s.ecc1_corrections)
+        .set("corrections_per_sweep", per_sweep)
+        .set("due_lines", s.due_lines);
+    scrub_rows.push(jr);
+    total_lines += s.lines_scrubbed;
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  std::printf("\n  expected: corrections/sweep roughly doubles 10ms->20ms->40ms.\n");
+
+  exp::JsonObject config;
+  config.set("num_lines", std::uint64_t{4096})
+      .set("group_size", 64)
+      .set("fault_rate_per_bit_s", rate)
+      .set("intervals_per_row", intervals)
+      .set("seed", args.seed_or(21));
+  exp::JsonObject result;
+  result.set("fit_rows", fit_rows).set("scrub_shape_check", scrub_rows);
+
+  exp::RunStats stats;
+  stats.trials = total_lines;
+  stats.wall_seconds = wall;
+  stats.threads = 1;
+  stats.shards = 1;
+  const exp::ResultSink sink(args.out_dir);
+  const auto path = sink.write("table8_scrub", config, result, stats, &metrics);
+  std::printf("  artifact: %s\n", path.string().c_str());
+  if (args.json) {
+    const auto root =
+        exp::ResultSink::make_root("table8_scrub", config, result, stats, &metrics);
+    std::printf("%s\n", root.str(/*pretty=*/true).c_str());
+  }
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/prob.h"
+#include "obs/macros.h"
 #include "sttram/fault_injector.h"
 
 namespace sudoku::baselines {
@@ -13,6 +14,7 @@ double BaselineMcResult::fit(double interval_s) const {
 }
 
 BaselineMcResult& BaselineMcResult::operator+=(const BaselineMcResult& other) {
+  metrics += other.metrics;
   intervals += other.intervals;
   faults_injected += other.faults_injected;
   corrected += other.corrected;
@@ -36,6 +38,22 @@ BaselineMcResult run_baseline_mc(CacheScheme& scheme, const BaselineMcConfig& co
 
   FaultInjector injector(scheme.num_units(), scheme.bits_per_unit(), config.ber);
   BaselineMcResult result;
+  obs::Counter* m_intervals = nullptr;
+  obs::Counter* m_corrected = nullptr;
+  obs::Counter* m_due = nullptr;
+  obs::Counter* m_sdc = nullptr;
+  obs::Counter* m_failure_intervals = nullptr;
+  obs::Histogram* m_faults_per_interval = nullptr;
+#if SUDOKU_OBS_ENABLED
+  m_intervals = result.metrics.counter("baseline.intervals");
+  m_corrected = result.metrics.counter("baseline.corrected");
+  m_due = result.metrics.counter("baseline.due_units");
+  m_sdc = result.metrics.counter("baseline.sdc_units");
+  m_failure_intervals = result.metrics.counter("baseline.failure_intervals");
+  m_faults_per_interval = result.metrics.histogram(
+      "baseline.faults_per_interval",
+      {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0});
+#endif
   std::vector<std::uint64_t> touched;
 
   for (std::uint64_t interval = 0; interval < config.max_intervals; ++interval) {
@@ -45,7 +63,9 @@ BaselineMcResult run_baseline_mc(CacheScheme& scheme, const BaselineMcConfig& co
           Rng::derive_stream_seed(config.seed, config.first_trial + interval));
     }
     const auto batch = injector.sample_interval(rng);
-    result.faults_injected += FaultInjector::count(batch);
+    const std::uint64_t batch_faults = FaultInjector::count(batch);
+    result.faults_injected += batch_faults;
+    OBS_OBSERVE(m_faults_per_interval, batch_faults);
     FaultInjector::apply(batch, scheme.array());
 
     touched.clear();
@@ -55,6 +75,8 @@ BaselineMcResult run_baseline_mc(CacheScheme& scheme, const BaselineMcConfig& co
     const auto stats = scheme.scrub_units(touched);
     result.corrected += stats.corrected;
     result.due_units += stats.due_units;
+    OBS_ADD(m_corrected, stats.corrected);
+    OBS_ADD(m_due, stats.due_units);
 
     bool failed = stats.due_units > 0;
     const std::unordered_set<std::uint64_t> due(stats.due_unit_ids.begin(),
@@ -63,6 +85,7 @@ BaselineMcResult run_baseline_mc(CacheScheme& scheme, const BaselineMcConfig& co
       if (due.count(unit)) continue;
       if (!scheme.array().line_equals(unit, golden.read_line(unit))) {
         ++result.sdc_units;
+        OBS_INC(m_sdc);
         failed = true;
         scheme.restore_unit(unit, golden.read_line(unit));
       }
@@ -71,8 +94,12 @@ BaselineMcResult run_baseline_mc(CacheScheme& scheme, const BaselineMcConfig& co
       scheme.restore_unit(unit, golden.read_line(unit));
     }
 
-    if (failed) ++result.failure_intervals;
+    if (failed) {
+      ++result.failure_intervals;
+      OBS_INC(m_failure_intervals);
+    }
     ++result.intervals;
+    OBS_INC(m_intervals);
     if (config.target_failures != 0 && result.failure_intervals >= config.target_failures) {
       break;
     }

@@ -8,6 +8,7 @@
 #include <functional>
 
 #include "baselines/scheme.h"
+#include "obs/metrics.h"
 
 namespace sudoku::baselines {
 
@@ -33,6 +34,10 @@ struct BaselineMcResult {
   std::uint64_t due_units = 0;
   std::uint64_t sdc_units = 0;
   std::uint64_t failure_intervals = 0;
+
+  // baseline.* event series (deterministic counts only; bit-identical
+  // under the engine's ordered shard merge, like the fields above).
+  obs::MetricsRegistry metrics;
 
   double p_failure_per_interval() const {
     return intervals ? static_cast<double>(failure_intervals) / intervals : 0.0;

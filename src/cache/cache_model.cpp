@@ -3,6 +3,8 @@
 #include <bit>
 #include <cassert>
 
+#include "obs/macros.h"
+
 namespace sudoku::cache {
 
 CacheModel::CacheModel(const CacheConfig& config)
@@ -13,12 +15,29 @@ CacheModel::CacheModel(const CacheConfig& config)
   line_shift_ = static_cast<std::uint32_t>(std::countr_zero(std::uint64_t{config.line_bytes}));
 }
 
+void CacheModel::attach_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    obs_ = Instruments{};
+    return;
+  }
+  obs_.accesses = registry->counter("cache.accesses");
+  obs_.reads = registry->counter("cache.reads");
+  obs_.writes = registry->counter("cache.writes");
+  obs_.hits = registry->counter("cache.hits");
+  obs_.misses = registry->counter("cache.misses");
+  obs_.evictions = registry->counter("cache.evictions");
+  obs_.writebacks = registry->counter("cache.writebacks");
+}
+
 CacheModel::AccessResult CacheModel::access(std::uint64_t addr, bool is_write) {
   ++stats_.accesses;
+  OBS_INC(obs_.accesses);
   if (is_write) {
     ++stats_.writes;
+    OBS_INC(obs_.writes);
   } else {
     ++stats_.reads;
+    OBS_INC(obs_.reads);
   }
 
   const std::uint64_t set = set_of(addr);
@@ -34,6 +53,7 @@ CacheModel::AccessResult CacheModel::access(std::uint64_t addr, bool is_write) {
       base[w].lru = ++stamp_;
       base[w].dirty = base[w].dirty || is_write;
       ++stats_.hits;
+      OBS_INC(obs_.hits);
       result.hit = true;
       result.line_index = set * config_.ways + w;
       return result;
@@ -42,6 +62,7 @@ CacheModel::AccessResult CacheModel::access(std::uint64_t addr, bool is_write) {
 
   // Miss: pick invalid way or LRU victim.
   ++stats_.misses;
+  OBS_INC(obs_.misses);
   std::uint32_t victim = 0;
   bool found_invalid = false;
   std::uint64_t oldest = UINT64_MAX;
@@ -58,8 +79,10 @@ CacheModel::AccessResult CacheModel::access(std::uint64_t addr, bool is_write) {
   }
   if (!found_invalid && base[victim].valid) {
     ++stats_.evictions;
+    OBS_INC(obs_.evictions);
     if (base[victim].dirty) {
       ++stats_.writebacks;
+      OBS_INC(obs_.writebacks);
       result.writeback = true;
       result.victim_addr = base[victim].tag << line_shift_;
     }

@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace sudoku::cache {
 
 struct CacheConfig {
@@ -44,6 +46,11 @@ class CacheModel {
   const CacheStats& stats() const { return stats_; }
   void reset_stats() { stats_ = CacheStats{}; }
 
+  // Attach a metrics registry (nullptr detaches): mirrors the CacheStats
+  // counters as cache.{accesses,reads,writes,hits,misses,evictions,
+  // writebacks}, updated live on every access.
+  void attach_metrics(obs::MetricsRegistry* registry);
+
   struct AccessResult {
     bool hit = false;
     bool writeback = false;         // a dirty victim was evicted
@@ -70,8 +77,19 @@ class CacheModel {
     bool dirty = false;
   };
 
+  struct Instruments {
+    obs::Counter* accesses = nullptr;
+    obs::Counter* reads = nullptr;
+    obs::Counter* writes = nullptr;
+    obs::Counter* hits = nullptr;
+    obs::Counter* misses = nullptr;
+    obs::Counter* evictions = nullptr;
+    obs::Counter* writebacks = nullptr;
+  };
+
   CacheConfig config_;
   CacheStats stats_;
+  Instruments obs_;
   std::vector<Way> ways_;  // sets * ways, row-major by set
   std::uint64_t stamp_ = 0;
   std::uint64_t set_mask_;

@@ -1,0 +1,49 @@
+#include "exp/metrics_io.h"
+
+namespace sudoku::exp {
+
+namespace {
+
+JsonObject gauge_json(const obs::Gauge& g) {
+  JsonObject o;
+  o.set("gauge", g.value()).set("samples", g.samples());
+  return o;
+}
+
+JsonObject histogram_json(const obs::Histogram& h) {
+  JsonArray edges;
+  for (const double e : h.edges()) edges.push(e);
+  JsonArray buckets;
+  for (const std::uint64_t b : h.buckets()) buckets.push(b);
+  JsonObject o;
+  o.set("edges", edges)
+      .set("buckets", buckets)
+      .set("count", h.count())
+      .set("sum", h.sum());
+  if (h.count() > 0) {
+    o.set("min", h.min()).set("max", h.max());
+  }
+  return o;
+}
+
+}  // namespace
+
+JsonObject metrics_to_json(const obs::MetricsRegistry& registry) {
+  JsonObject out;
+  for (const auto& sample : registry.snapshot()) {
+    switch (sample.kind) {
+      case obs::MetricSample::Kind::kCounter:
+        out.set(sample.name, sample.counter->value());
+        break;
+      case obs::MetricSample::Kind::kGauge:
+        out.set(sample.name, gauge_json(*sample.gauge));
+        break;
+      case obs::MetricSample::Kind::kHistogram:
+        out.set(sample.name, histogram_json(*sample.histogram));
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace sudoku::exp

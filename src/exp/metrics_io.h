@@ -1,0 +1,25 @@
+// JSON rendering for obs::MetricsRegistry snapshots. Lives in exp (not
+// obs) so the obs library stays a dependency-free leaf that every layer
+// can link, while artifact emission reuses exp's round-trip-safe JSON.
+//
+// Layout (names sorted, so artifacts diff cleanly):
+//   "metrics": {
+//     "sudoku.read.clean": 1234,                       // counter
+//     "scrub.bandwidth_fraction": {"gauge": 0.011, "samples": 3},
+//     "mc.faults_per_interval": {                      // histogram
+//       "edges": [1, 2, 4, 8], "buckets": [0, 5, 9, 2, 1],
+//       "count": 17, "sum": 61, "min": 1, "max": 11
+//     }
+//   }
+#pragma once
+
+#include "exp/json.h"
+#include "obs/metrics.h"
+
+namespace sudoku::exp {
+
+// Render every metric in `registry`, sorted by name. An empty registry
+// renders as {}.
+JsonObject metrics_to_json(const obs::MetricsRegistry& registry);
+
+}  // namespace sudoku::exp

@@ -1,6 +1,10 @@
 #include "exp/result_sink.h"
 
 #include <fstream>
+#include <stdexcept>
+#include <system_error>
+
+#include "exp/metrics_io.h"
 
 namespace sudoku::exp {
 
@@ -14,24 +18,44 @@ JsonObject RunStats::to_json() const {
   return o;
 }
 
-std::filesystem::path ResultSink::write(const std::string& name,
-                                        const JsonObject& config,
-                                        const JsonObject& result,
-                                        const RunStats& stats) const {
+JsonObject ResultSink::make_root(const std::string& name, const JsonObject& config,
+                                 const JsonObject& result, const RunStats& stats,
+                                 const obs::MetricsRegistry* metrics) {
   JsonObject root;
   root.set("experiment", name)
       .set("config", config)
       .set("result", result)
       .set("throughput", stats.to_json());
-  return write_raw(name, root);
+  if (metrics != nullptr) {
+    root.set("metrics", metrics_to_json(*metrics));
+  }
+  return root;
+}
+
+std::filesystem::path ResultSink::write(const std::string& name,
+                                        const JsonObject& config,
+                                        const JsonObject& result,
+                                        const RunStats& stats,
+                                        const obs::MetricsRegistry* metrics) const {
+  return write_raw(name, make_root(name, config, result, stats, metrics));
 }
 
 std::filesystem::path ResultSink::write_raw(const std::string& name,
                                             const JsonObject& root) const {
-  std::filesystem::create_directories(out_dir_);
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir_, ec);
+  if (ec) {
+    throw std::runtime_error("ResultSink: cannot create output directory '" +
+                             out_dir_.string() + "': " + ec.message());
+  }
   const std::filesystem::path path = out_dir_ / (name + ".json");
   std::ofstream out(path);
   out << root.str(/*pretty=*/true) << '\n';
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("ResultSink: failed to write artifact '" +
+                             path.string() + "'");
+  }
   return path;
 }
 

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "exp/json.h"
+#include "obs/metrics.h"
 
 namespace sudoku::exp {
 
@@ -41,14 +42,26 @@ class ResultSink {
   const std::filesystem::path& out_dir() const { return out_dir_; }
 
   // Writes <out_dir>/<name>.json with {"experiment", "config", "result",
-  // "throughput"} and returns the path. Creates the directory as needed.
+  // "throughput"[, "metrics"]} and returns the path. Creates the directory
+  // as needed. When `metrics` is non-null its snapshot is embedded as the
+  // artifact's "metrics" section (present even when empty, so consumers
+  // can rely on the key). Throws std::runtime_error when the directory
+  // cannot be created or the file cannot be written — artifacts are the
+  // experiment's whole point, so losing one silently is not an option.
   std::filesystem::path write(const std::string& name, const JsonObject& config,
-                              const JsonObject& result,
-                              const RunStats& stats) const;
+                              const JsonObject& result, const RunStats& stats,
+                              const obs::MetricsRegistry* metrics = nullptr) const;
 
   // Escape hatch for artifacts that don't fit the config/result shape.
+  // Same error contract as write().
   std::filesystem::path write_raw(const std::string& name,
                                   const JsonObject& root) const;
+
+  // Assembles the standard artifact root without writing it (what write()
+  // persists; benches reuse it for --json stdout dumps).
+  static JsonObject make_root(const std::string& name, const JsonObject& config,
+                              const JsonObject& result, const RunStats& stats,
+                              const obs::MetricsRegistry* metrics = nullptr);
 
  private:
   std::filesystem::path out_dir_;

@@ -1,0 +1,139 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace sudoku::obs {
+
+namespace {
+
+[[noreturn]] void die(const char* what, const std::string& name) {
+  std::fprintf(stderr, "obs::MetricsRegistry: %s for metric '%s'\n", what,
+               name.c_str());
+  std::abort();
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
+  const bool strictly_ascending =
+      std::adjacent_find(edges_.begin(), edges_.end(),
+                         [](double a, double b) { return a >= b; }) == edges_.end();
+  if (edges_.empty() || !strictly_ascending) {
+    std::fprintf(stderr,
+                 "obs::Histogram: edges must be non-empty and strictly ascending\n");
+    std::abort();
+  }
+  buckets_.assign(edges_.size() + 1, 0);
+}
+
+void Histogram::observe(double v) {
+  // First edge >= ... : bucket i holds edges[i-1] <= v < edges[i], so the
+  // index is the count of edges <= v.
+  const auto it = std::upper_bound(edges_.begin(), edges_.end(), v);
+  ++buckets_[static_cast<std::size_t>(it - edges_.begin())];
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  sum_ += v;
+  ++count_;
+}
+
+Histogram& Histogram::operator+=(const Histogram& o) {
+  if (edges_ != o.edges_) {
+    std::fprintf(stderr,
+                 "obs::Histogram: merging histograms with different bucket "
+                 "edges (%zu vs %zu edges)\n",
+                 edges_.size(), o.edges_.size());
+    std::abort();
+  }
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += o.buckets_[i];
+  if (o.count_ > 0) {
+    min_ = count_ ? std::min(min_, o.min_) : o.min_;
+    max_ = count_ ? std::max(max_, o.max_) : o.max_;
+  }
+  sum_ += o.sum_;
+  count_ += o.count_;
+  return *this;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  if (gauges_.count(name) || histograms_.count(name)) die("kind collision", name);
+  return &counters_[name];
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  if (counters_.count(name) || histograms_.count(name)) die("kind collision", name);
+  return &gauges_[name];
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> edges) {
+  if (counters_.count(name) || gauges_.count(name)) die("kind collision", name);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, Histogram(std::move(edges))).first;
+  } else if (it->second.edges() != edges) {
+    die("re-registration with different bucket edges", name);
+  }
+  return &it->second;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::find_histogram(const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+MetricsRegistry& MetricsRegistry::operator+=(const MetricsRegistry& o) {
+  for (const auto& [name, c] : o.counters_) {
+    if (gauges_.count(name) || histograms_.count(name)) die("kind collision", name);
+    counters_[name] += c;
+  }
+  for (const auto& [name, g] : o.gauges_) {
+    if (counters_.count(name) || histograms_.count(name)) die("kind collision", name);
+    gauges_[name] += g;
+  }
+  for (const auto& [name, h] : o.histograms_) {
+    if (counters_.count(name) || gauges_.count(name)) die("kind collision", name);
+    const auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, h);
+    } else {
+      it->second += h;
+    }
+  }
+  return *this;
+}
+
+std::vector<MetricSample> MetricsRegistry::snapshot() const {
+  std::vector<MetricSample> out;
+  out.reserve(size());
+  for (const auto& [name, c] : counters_) {
+    out.push_back({name, MetricSample::Kind::kCounter, &c, nullptr, nullptr});
+  }
+  for (const auto& [name, g] : gauges_) {
+    out.push_back({name, MetricSample::Kind::kGauge, nullptr, &g, nullptr});
+  }
+  for (const auto& [name, h] : histograms_) {
+    out.push_back({name, MetricSample::Kind::kHistogram, nullptr, nullptr, &h});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) { return a.name < b.name; });
+  return out;
+}
+
+}  // namespace sudoku::obs

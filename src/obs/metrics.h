@@ -1,0 +1,160 @@
+// Unified observability layer: a process-local metrics registry with named
+// counters, gauges and fixed-bucket histograms. Every experiment layer
+// (controller, scrubber, cache model, Monte-Carlo runners, timing sim)
+// records into a registry, and bench artifacts embed a snapshot, so each
+// JSON result explains *why* its numbers came out the way they did (which
+// SDR case fired, how many Hash-2 retries, the fault-burst distribution).
+//
+// Sharding contract (matches src/exp): a registry is single-threaded by
+// design. Parallel work gives each shard its own registry (usually carried
+// inside the shard's result struct) and reduces them with `operator+=` in
+// shard-index order. All merge operations are associative over that fixed
+// order and use only integer arithmetic or order-fixed double sums, so the
+// merged registry is bit-identical for any thread count — the same
+// reproducibility contract the experiment engine gives its results.
+//
+// Instrumentation sites use the macros in obs/macros.h, which compile to
+// nothing when the build disables observability (-DSUDOKU_OBS=OFF).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sudoku::obs {
+
+// Monotonic event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+  Counter& operator+=(const Counter& o) {
+    value_ += o.value_;
+    return *this;
+  }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+// Last-written value plus a sample count. Merging keeps the right-hand
+// side's value when it has been set — with the engine's shard-index-order
+// merge this means "the last shard that set it wins", deterministically.
+class Gauge {
+ public:
+  void set(double v) {
+    value_ = v;
+    ++samples_;
+  }
+  double value() const { return value_; }
+  std::uint64_t samples() const { return samples_; }
+
+  Gauge& operator+=(const Gauge& o) {
+    if (o.samples_ > 0) value_ = o.value_;
+    samples_ += o.samples_;
+    return *this;
+  }
+
+ private:
+  double value_ = 0.0;
+  std::uint64_t samples_ = 0;
+};
+
+// Fixed-bucket histogram. `edges` are the ascending bucket boundaries;
+// bucket 0 counts v < edges[0] (underflow), bucket i counts
+// edges[i-1] <= v < edges[i], and the final bucket counts v >= edges.back()
+// (overflow) — so there are edges.size() + 1 buckets and every observation
+// lands somewhere. Sum/min/max are tracked for the snapshot.
+class Histogram {
+ public:
+  Histogram() = default;
+  explicit Histogram(std::vector<double> edges);
+
+  void observe(double v);
+
+  const std::vector<double>& edges() const { return edges_; }
+  const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+  std::uint64_t underflow() const { return buckets_.front(); }
+  std::uint64_t overflow() const { return buckets_.back(); }
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  // Undefined (0) when count() == 0; snapshots omit them in that case.
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+
+  // Merge requires identical edges (same metric definition); mismatching
+  // shapes are a programming error and abort loudly.
+  Histogram& operator+=(const Histogram& o);
+
+ private:
+  std::vector<double> edges_;
+  std::vector<std::uint64_t> buckets_;  // edges_.size() + 1
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// One rendered metric, for snapshot consumers (JSON emission lives in
+// exp/metrics_io.h so obs stays a leaf library).
+struct MetricSample {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  const Counter* counter = nullptr;
+  const Gauge* gauge = nullptr;
+  const Histogram* histogram = nullptr;
+};
+
+// Name-keyed registry. Handles returned by counter()/gauge()/histogram()
+// are stable for the registry's lifetime (node-based storage) and survive
+// moves of the registry itself, so hot paths can cache them once. Names
+// should be dotted lowercase paths ("sudoku.read.clean"); see
+// docs/observability.md for the naming scheme.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = default;
+  MetricsRegistry& operator=(const MetricsRegistry&) = default;
+  MetricsRegistry(MetricsRegistry&&) = default;
+  MetricsRegistry& operator=(MetricsRegistry&&) = default;
+
+  // Find-or-create. Re-registering a histogram name with different edges
+  // aborts (one definition per name); counters/gauges simply return the
+  // existing instance.
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name, std::vector<double> edges);
+
+  // Lookup without creation (nullptr when absent). Mostly for tests and
+  // artifact assertions.
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+  std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  // Deterministic shard reduction: union by name, `+=` on collisions.
+  // A kind collision (counter vs gauge under one name) aborts.
+  MetricsRegistry& operator+=(const MetricsRegistry& o);
+
+  // All metrics sorted by name (std::map order), counters/gauges/
+  // histograms interleaved. Pointers are into this registry.
+  std::vector<MetricSample> snapshot() const;
+
+ private:
+  // std::map: stable node addresses + sorted deterministic iteration.
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace sudoku::obs

@@ -1,0 +1,38 @@
+// Scoped wall-clock timer recording elapsed nanoseconds into a histogram
+// on destruction. Wall times are inherently nondeterministic, so timer
+// observations must never feed a registry that is part of a bit-identical
+// merge contract (the Monte-Carlo paths record event counts only); use
+// them for single-run instruments like sweep latency or artifact I/O.
+#pragma once
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace sudoku::obs {
+
+class ScopedTimer {
+ public:
+  // Null histogram = disabled (records nothing) so call sites can pass an
+  // unconditionally-constructed timer with a maybe-null instrument.
+  explicit ScopedTimer(Histogram* hist)
+      : hist_(hist),
+        start_(hist ? std::chrono::steady_clock::now()
+                    : std::chrono::steady_clock::time_point{}) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (hist_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    hist_->observe(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()));
+  }
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace sudoku::obs

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/prob.h"
+#include "obs/macros.h"
 #include "sttram/fault_injector.h"
 
 namespace sudoku::reliability {
@@ -18,6 +19,7 @@ double McResult::mttf_seconds(double interval_s) const {
 }
 
 McResult& McResult::operator+=(const McResult& other) {
+  metrics += other.metrics;
   intervals += other.intervals;
   faults_injected += other.faults_injected;
   ecc1_corrections += other.ecc1_corrections;
@@ -68,6 +70,21 @@ McResult run_montecarlo(const McConfig& config) {
                          config.cache.ber);
 
   McResult result;
+  obs::Counter* m_intervals = nullptr;
+  obs::Counter* m_sdc = nullptr;
+  obs::Counter* m_failure_intervals = nullptr;
+  obs::Histogram* m_faults_per_interval = nullptr;
+#if SUDOKU_OBS_ENABLED
+  // The controller writes its sudoku.* series straight into the result's
+  // registry; everything recorded is a deterministic event count, so the
+  // engine's shard merge stays bit-identical for any thread count.
+  ctrl.attach_metrics(&result.metrics);
+  m_intervals = result.metrics.counter("mc.intervals");
+  m_sdc = result.metrics.counter("mc.sdc_lines");
+  m_failure_intervals = result.metrics.counter("mc.failure_intervals");
+  m_faults_per_interval = result.metrics.histogram(
+      "mc.faults_per_interval", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0});
+#endif
   std::vector<std::uint64_t> touched;
   for (std::uint64_t interval = 0; interval < config.max_intervals; ++interval) {
     if (config.stop_hook && config.stop_hook()) break;
@@ -76,7 +93,9 @@ McResult run_montecarlo(const McConfig& config) {
           Rng::derive_stream_seed(config.seed, config.first_trial + interval));
     }
     const auto batch = injector.sample_interval(rng);
-    result.faults_injected += FaultInjector::count(batch);
+    const std::uint64_t batch_faults = FaultInjector::count(batch);
+    result.faults_injected += batch_faults;
+    OBS_OBSERVE(m_faults_per_interval, batch_faults);
     FaultInjector::apply(batch, ctrl.array());
 
     touched.clear();
@@ -120,6 +139,7 @@ McResult run_montecarlo(const McConfig& config) {
         if (due.count(line)) continue;  // already accounted as DUE
         if (!ctrl.array().line_equals(line, golden.read_line(line))) {
           ++result.sdc_lines;
+          OBS_INC(m_sdc);
           interval_failed = true;
           // Heal silently-corrupted state so later intervals stay valid.
           ctrl.array().write_line(line, golden.read_line(line));
@@ -132,8 +152,12 @@ McResult run_montecarlo(const McConfig& config) {
       ctrl.write_data(line, ctrl.codec().extract_data(golden.read_line(line)));
     }
 
-    if (interval_failed) ++result.failure_intervals;
+    if (interval_failed) {
+      ++result.failure_intervals;
+      OBS_INC(m_failure_intervals);
+    }
     ++result.intervals;
+    OBS_INC(m_intervals);
     if (config.target_failures != 0 && result.failure_intervals >= config.target_failures) {
       break;
     }

@@ -18,6 +18,7 @@
 #include <functional>
 #include <string>
 
+#include "obs/metrics.h"
 #include "reliability/analytical.h"
 #include "sudoku/controller.h"
 
@@ -66,6 +67,12 @@ struct McResult {
   std::uint64_t due_lines = 0;
   std::uint64_t sdc_lines = 0;
   std::uint64_t failure_intervals = 0;  // intervals with >= 1 DUE or SDC
+
+  // Full event mix recorded by the run: the controller's sudoku.* series
+  // plus the harness's mc.* series (see docs/observability.md). Only
+  // deterministic event counts are recorded here, so the registry obeys
+  // the same bit-identical shard-merge contract as the plain counters.
+  obs::MetricsRegistry metrics;
 
   double p_failure_per_interval() const {
     return intervals ? static_cast<double>(failure_intervals) / intervals : 0.0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 
+#include "obs/macros.h"
 #include "sim/trace_io.h"
 
 namespace sudoku::sim {
@@ -78,6 +79,9 @@ SimResult TimingSimulator::run(const std::vector<std::string>& benchmarks) {
 
   // Warmup: populate the LLC untimed so measurement starts from a steady
   // state (fresh sources with the same seed replay identically below).
+  // Metrics stay detached so the warmup traffic is invisible to both the
+  // CacheStats counters and the cache.* series.
+  llc.attach_metrics(nullptr);
   for (std::uint32_t core = 0; core < cfg.num_cores; ++core) {
     const auto source = make_source(benchmarks[core % benchmarks.size()], core, cfg.seed);
     for (std::uint64_t i = 0; i < cfg.warmup_accesses_per_core; ++i) {
@@ -86,6 +90,9 @@ SimResult TimingSimulator::run(const std::vector<std::string>& benchmarks) {
     }
   }
   llc.reset_stats();
+#if SUDOKU_OBS_ENABLED
+  llc.attach_metrics(&result.metrics);  // live cache.* counters, post-warmup
+#endif
 
   auto dram_access = [&](std::uint64_t addr, double t, bool is_write) {
     ++result.dram_accesses;
@@ -224,6 +231,24 @@ SimResult TimingSimulator::run(const std::vector<std::string>& benchmarks) {
 
   result.llc = llc.stats();
   result.dram = dram.stats();
+
+#if SUDOKU_OBS_ENABLED
+  // End-of-run sim.* series: totals the energy model consumes, the §VII-I
+  // utilization gauges, and the per-core IPC spread.
+  auto& m = result.metrics;
+  m.counter("sim.llc.reads")->inc(result.llc_reads);
+  m.counter("sim.llc.writes")->inc(result.llc_writes);
+  m.counter("sim.plt.writes")->inc(result.plt_writes);
+  m.counter("sim.dram.accesses")->inc(result.dram_accesses);
+  m.counter("sim.scrub.reads")->inc(result.scrub_reads);
+  m.counter("sim.codec.events")->inc(result.codec_events);
+  m.gauge("sim.total_time_ns")->set(result.total_time_ns);
+  m.gauge("sim.llc.bank_utilization")->set(result.llc_bank_utilization(cfg.llc.banks));
+  m.gauge("sim.plt.bank_utilization")->set(result.plt_bank_utilization(cfg.llc.banks));
+  obs::Histogram* ipc_hist =
+      m.histogram("sim.core.ipc", {0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0});
+  for (const auto& cr : result.cores) ipc_hist->observe(cr.ipc);
+#endif
   return result;
 }
 

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "cache/cache_model.h"
+#include "obs/metrics.h"
 #include "sim/dram.h"
 #include "sim/workload.h"
 
@@ -97,6 +98,11 @@ struct SimResult {
   // analysis (PLT must not bottleneck behind the STTRAM it shadows).
   double llc_busy_ns = 0.0;
   double plt_busy_ns = 0.0;
+
+  // Observability snapshot of the run: live cache.* counters from the LLC
+  // model plus sim.* series (event totals, bank-utilization gauges, and a
+  // per-core IPC histogram). Populated by TimingSimulator::run.
+  obs::MetricsRegistry metrics;
 
   double llc_bank_utilization(std::uint32_t banks) const {
     return total_time_ns > 0 ? llc_busy_ns / (total_time_ns * banks) : 0.0;

@@ -7,6 +7,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/macros.h"
+
 namespace sudoku {
 
 const char* to_string(SudokuLevel level) {
@@ -63,6 +65,31 @@ SudokuController::SudokuController(const SudokuConfig& config)
   if (config_.level == SudokuLevel::kZ) {
     plt2_.emplace(config_.geo.num_groups(), width);
   }
+}
+
+void SudokuController::attach_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    obs_ = Instruments{};
+    return;
+  }
+  obs_.read_clean = registry->counter("sudoku.read.clean");
+  obs_.read_corrected = registry->counter("sudoku.read.corrected");
+  obs_.read_repaired = registry->counter("sudoku.read.repaired");
+  obs_.read_due = registry->counter("sudoku.read.due");
+  obs_.scrub_lines_scanned = registry->counter("sudoku.scrub.lines_scanned");
+  obs_.scrub_lines_clean = registry->counter("sudoku.scrub.lines_clean");
+  obs_.repair_ecc1 = registry->counter("sudoku.repair.ecc1");
+  obs_.repair_raid4 = registry->counter("sudoku.repair.raid4");
+  obs_.repair_sdr = registry->counter("sudoku.repair.sdr");
+  obs_.repair_sdr_attempts = registry->counter("sudoku.repair.sdr_attempts");
+  obs_.repair_hash2 = registry->counter("sudoku.repair.hash2");
+  obs_.repair_groups = registry->counter("sudoku.repair.groups");
+  obs_.repair_due_lines = registry->counter("sudoku.repair.due_lines");
+  obs_.sdr_case1 = registry->counter("sudoku.sdr.case1");
+  obs_.sdr_case2 = registry->counter("sudoku.sdr.case2");
+  obs_.sdr_case3 = registry->counter("sudoku.sdr.case3");
+  obs_.sdr_mismatch_bits = registry->histogram(
+      "sudoku.sdr.mismatch_bits", {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0});
 }
 
 ParityTable& SudokuController::plt(int which_hash) {
@@ -158,9 +185,11 @@ SudokuController::ReadResult SudokuController::read_data(std::uint64_t line) {
   BitVec stored = array_.read_line(line);
   switch (codec_.check_and_correct(stored)) {
     case LineCodec::LineState::kClean:
+      OBS_INC(obs_.read_clean);
       return {codec_.extract_data(stored), ReadOutcome::kClean};
     case LineCodec::LineState::kCorrected:
       array_.write_line(line, stored);  // scrub-on-read of the fixed bit
+      OBS_INC(obs_.read_corrected);
       return {codec_.extract_data(stored), ReadOutcome::kCorrected};
     case LineCodec::LineState::kUncorrectable:
       break;
@@ -173,9 +202,11 @@ SudokuController::ReadResult SudokuController::read_data(std::uint64_t line) {
     losers = repair_group(hash_.group1(line), 1, scratch);
   }
   if (std::find(losers.begin(), losers.end(), line) != losers.end()) {
+    OBS_INC(obs_.read_due);
     return {BitVec(LineCodec::kDataBits), ReadOutcome::kDue};
   }
   stored = array_.read_line(line);
+  OBS_INC(obs_.read_repaired);
   return {codec_.extract_data(stored), ReadOutcome::kRepaired};
 }
 
@@ -190,6 +221,7 @@ bool SudokuController::raid4_reconstruct(std::uint64_t group, int which_hash,
   if (!codec_.fully_clean(acc)) return false;
   array_.write_line(victim, acc);
   ++stats.raid4_repairs;
+  OBS_INC(obs_.repair_raid4);
   return true;
 }
 
@@ -209,6 +241,7 @@ std::vector<std::uint64_t> SudokuController::repair_group(std::uint64_t group,
       case LineCodec::LineState::kCorrected:
         array_.write_line(line, stored);
         ++stats.ecc1_corrections;
+        OBS_INC(obs_.repair_ecc1);
         break;
       case LineCodec::LineState::kUncorrectable:
         bad.push_back(line);
@@ -217,6 +250,13 @@ std::vector<std::uint64_t> SudokuController::repair_group(std::uint64_t group,
   }
   if (bad.empty()) return bad;
   ++stats.groups_repaired;
+  OBS_INC(obs_.repair_groups);
+  // Fig. 3 case breakdown by the number of multi-bit-faulty lines left in
+  // the group: 1 = plain RAID-4 erasure (case 1), 2 = the SDR pair
+  // scenario (case 2), 3+ = the hard multi-line pile-up (case 3).
+  OBS_INC(bad.size() == 1   ? obs_.sdr_case1
+          : bad.size() == 2 ? obs_.sdr_case2
+                            : obs_.sdr_case3);
 
   if (bad.size() == 1) {
     if (raid4_reconstruct(group, which_hash, bad[0], stats)) bad.clear();
@@ -238,16 +278,19 @@ std::vector<std::uint64_t> SudokuController::repair_group(std::uint64_t group,
     const std::uint32_t cap = config_.sdr_mismatch_cap();
     const auto positions = mismatch.set_positions(cap + 1);
     if (positions.empty() || positions.size() > cap) break;
+    OBS_OBSERVE(obs_.sdr_mismatch_bits, positions.size());
 
     for (auto it = bad.begin(); it != bad.end() && !progress; ++it) {
       BitVec trial(codec_.total_bits());
       for (const auto pos : positions) {
         array_.read_line(*it, trial);
         trial.flip(pos);
+        OBS_INC(obs_.repair_sdr_attempts);
         if (codec_.check_and_correct(trial) != LineCodec::LineState::kUncorrectable &&
             codec_.fully_clean(trial)) {
           array_.write_line(*it, trial);
           ++stats.sdr_repairs;
+          OBS_INC(obs_.repair_sdr);
           bad.erase(it);
           progress = true;  // mismatch positions changed; recompute
           break;
@@ -271,6 +314,7 @@ std::vector<std::uint64_t> SudokuController::repair_group_skewed(std::uint64_t g
     bool progress = false;
     for (const auto line : bad) {
       ++stats.hash2_invocations;
+      OBS_INC(obs_.repair_hash2);
       const auto left = repair_group(hash_.group2(line), 2, stats);
       if (std::find(left.begin(), left.end(), line) == left.end()) progress = true;
     }
@@ -283,6 +327,7 @@ std::vector<std::uint64_t> SudokuController::repair_group_skewed(std::uint64_t g
 ScrubStats SudokuController::scrub_lines(std::span<const std::uint64_t> lines) {
   ScrubStats stats;
   stats.lines_scanned = lines.size();
+  OBS_ADD(obs_.scrub_lines_scanned, lines.size());
 
   // Fast path: per-line check + ECC-1. Groups that still contain an
   // uncorrectable line go through the RAID machinery once each.
@@ -293,10 +338,12 @@ ScrubStats SudokuController::scrub_lines(std::span<const std::uint64_t> lines) {
     switch (codec_.check_and_correct(stored)) {
       case LineCodec::LineState::kClean:
         ++stats.lines_clean;
+        OBS_INC(obs_.scrub_lines_clean);
         break;
       case LineCodec::LineState::kCorrected:
         array_.write_line(line, stored);
         ++stats.ecc1_corrections;
+        OBS_INC(obs_.repair_ecc1);
         break;
       case LineCodec::LineState::kUncorrectable:
         pending_groups.insert(hash_.group1(line));
@@ -339,6 +386,7 @@ ScrubStats SudokuController::scrub_lines(std::span<const std::uint64_t> lines) {
     }
     for (const auto l : losers) {
       ++stats.due_lines;
+      OBS_INC(obs_.repair_due_lines);
       stats.due_line_ids.push_back(l);
     }
   }

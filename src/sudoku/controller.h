@@ -25,6 +25,7 @@
 
 #include "common/bitvec.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
 #include "raid/geometry.h"
 #include "raid/parity_table.h"
 #include "sttram/array.h"
@@ -108,6 +109,18 @@ class SudokuController {
   ScrubStats scrub_lines(std::span<const std::uint64_t> lines);
   ScrubStats scrub_all();
 
+  // ---- observability ----
+  // Attach a metrics registry (nullptr detaches). The controller caches
+  // instrument handles once, so instrumented hot paths cost a single
+  // well-predicted branch each — and nothing at all when the build
+  // disables observability (see obs/macros.h). Counters recorded:
+  //   sudoku.read.{clean,corrected,repaired,due}     per read_data outcome
+  //   sudoku.scrub.{lines_scanned,lines_clean}       scrub sweep volume
+  //   sudoku.repair.{ecc1,raid4,sdr,hash2,groups,due_lines,sdr_attempts}
+  //   sudoku.sdr.case{1,2,3}      Fig. 3 breakdown: #faulty lines in group
+  //   sudoku.sdr.mismatch_bits    histogram of parity-mismatch popcounts
+  void attach_metrics(obs::MetricsRegistry* registry);
+
   // Parity storage cost in bits across all PLTs (§VII-H).
   std::uint64_t plt_storage_bits() const;
 
@@ -121,6 +134,28 @@ class SudokuController {
   SkewedHash hash_;
   ParityTable plt1_;
   std::optional<ParityTable> plt2_;  // only for SuDoku-Z
+
+  // Cached instrument handles; all null when no registry is attached.
+  struct Instruments {
+    obs::Counter* read_clean = nullptr;
+    obs::Counter* read_corrected = nullptr;
+    obs::Counter* read_repaired = nullptr;
+    obs::Counter* read_due = nullptr;
+    obs::Counter* scrub_lines_scanned = nullptr;
+    obs::Counter* scrub_lines_clean = nullptr;
+    obs::Counter* repair_ecc1 = nullptr;
+    obs::Counter* repair_raid4 = nullptr;
+    obs::Counter* repair_sdr = nullptr;
+    obs::Counter* repair_sdr_attempts = nullptr;
+    obs::Counter* repair_hash2 = nullptr;
+    obs::Counter* repair_groups = nullptr;
+    obs::Counter* repair_due_lines = nullptr;
+    obs::Counter* sdr_case1 = nullptr;
+    obs::Counter* sdr_case2 = nullptr;
+    obs::Counter* sdr_case3 = nullptr;
+    obs::Histogram* sdr_mismatch_bits = nullptr;
+  };
+  Instruments obs_;
 
   std::vector<std::uint64_t> group_members(std::uint64_t group, int which_hash) const;
   ParityTable& plt(int which_hash);

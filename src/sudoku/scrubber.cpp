@@ -1,8 +1,11 @@
 #include "sudoku/scrubber.h"
 
 #include <algorithm>
+#include <chrono>
 #include <unordered_set>
 #include <vector>
+
+#include "obs/macros.h"
 
 namespace sudoku {
 
@@ -10,9 +13,34 @@ ContinuousScrubStats run_continuous_scrub(SudokuController& ctrl,
                                           const ScrubSchedule& schedule,
                                           double fault_rate_per_bit_s,
                                           std::uint32_t slices_per_interval,
-                                          std::uint32_t num_intervals, Rng& rng) {
+                                          std::uint32_t num_intervals, Rng& rng,
+                                          obs::MetricsRegistry* metrics) {
   ContinuousScrubStats stats;
   const std::uint64_t num_lines = ctrl.array().num_lines();
+
+#if !SUDOKU_OBS_ENABLED
+  metrics = nullptr;  // disabled builds record nothing at all
+#endif
+  obs::Counter* m_sweeps = nullptr;
+  obs::Counter* m_lines = nullptr;
+  obs::Counter* m_faults = nullptr;
+  obs::Counter* m_corrections = nullptr;
+  obs::Histogram* m_slice_faults = nullptr;
+  obs::Histogram* m_sweep_wall = nullptr;
+  if (metrics != nullptr) {
+    m_sweeps = metrics->counter("scrub.sweeps");
+    m_lines = metrics->counter("scrub.lines_scrubbed");
+    m_faults = metrics->counter("scrub.faults_injected");
+    m_corrections = metrics->counter("scrub.corrections");
+    m_slice_faults = metrics->histogram("scrub.slice_faults",
+                                        {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
+    // Wall-clock per full sweep; nondeterministic by nature, so this series
+    // must stay out of bit-identical merge contracts (see obs/timer.h).
+    m_sweep_wall = metrics->histogram(
+        "scrub.sweep_wall_ns", {1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10});
+    metrics->gauge("scrub.bandwidth_fraction")
+        ->set(schedule.bandwidth_fraction(num_lines));
+  }
   const std::uint32_t bits = ctrl.codec().total_bits();
   const std::uint64_t lines_per_slice =
       (num_lines + slices_per_interval - 1) / slices_per_interval;
@@ -27,6 +55,7 @@ ContinuousScrubStats run_continuous_scrub(SudokuController& ctrl,
 
   std::uint64_t cursor = 0;
   std::vector<std::uint64_t> slice_lines;
+  auto sweep_start = std::chrono::steady_clock::now();
   for (std::uint64_t step = 0;
        step < static_cast<std::uint64_t>(num_intervals) * slices_per_interval; ++step) {
     // Faults arriving during this slice: Poisson over all bits.
@@ -39,6 +68,8 @@ ContinuousScrubStats run_continuous_scrub(SudokuController& ctrl,
       dirty.insert(line);
     }
     stats.faults_injected += nfaults;
+    OBS_ADD(m_faults, nfaults);
+    if (nfaults > 0) OBS_OBSERVE(m_slice_faults, nfaults);
 
     // Sweep the next chunk of lines.
     slice_lines.clear();
@@ -52,6 +83,7 @@ ContinuousScrubStats run_continuous_scrub(SudokuController& ctrl,
       stats.raid4_repairs += s.raid4_repairs;
       stats.sdr_repairs += s.sdr_repairs;
       stats.due_lines += s.due_lines;
+      OBS_ADD(m_corrections, s.ecc1_corrections + s.raid4_repairs + s.sdr_repairs);
       // A DUE line is invalidated and refetched from the next memory
       // level; without this, dead lines poison their groups forever and
       // the failure rate diverges. The payload value is immaterial to the
@@ -63,12 +95,23 @@ ContinuousScrubStats run_continuous_scrub(SudokuController& ctrl,
       // Group repairs may have cleaned other dirty lines as a side effect;
       // they will be found clean when their slice arrives — harmless.
     }
-    stats.lines_scrubbed += std::min<std::uint64_t>(lines_per_slice, num_lines - cursor);
+    const std::uint64_t visited =
+        std::min<std::uint64_t>(lines_per_slice, num_lines - cursor);
+    stats.lines_scrubbed += visited;
+    OBS_ADD(m_lines, visited);
 
     cursor += lines_per_slice;
     if (cursor >= num_lines) {
       cursor = 0;
       ++stats.sweeps;
+      OBS_INC(m_sweeps);
+      if (m_sweep_wall != nullptr) {
+        const auto now = std::chrono::steady_clock::now();
+        m_sweep_wall->observe(static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(now - sweep_start)
+                .count()));
+        sweep_start = now;
+      }
     }
     stats.simulated_seconds += slice_s;
   }

@@ -16,6 +16,7 @@
 #include <cstdint>
 
 #include "common/rng.h"
+#include "obs/metrics.h"
 #include "sudoku/controller.h"
 
 namespace sudoku {
@@ -54,10 +55,18 @@ struct ContinuousScrubStats {
 // elapsed wall time (Poisson with the given per-second per-bit rate) are
 // injected. Lines therefore carry anywhere between 0 and a full interval
 // of exposure when visited — exactly the paper's operating regime.
+//
+// When `metrics` is non-null the sweep records its own observability
+// series there (scrub.sweeps, scrub.lines_scrubbed, scrub.faults_injected,
+// scrub.corrections, the scrub.bandwidth_fraction gauge, the
+// scrub.slice_faults burst histogram and scrub.sweep_wall_ns timings); the
+// controller's sudoku.* instruments are attached separately via
+// SudokuController::attach_metrics.
 ContinuousScrubStats run_continuous_scrub(SudokuController& ctrl,
                                           const ScrubSchedule& schedule,
                                           double fault_rate_per_bit_s,
                                           std::uint32_t slices_per_interval,
-                                          std::uint32_t num_intervals, Rng& rng);
+                                          std::uint32_t num_intervals, Rng& rng,
+                                          obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace sudoku

@@ -1,12 +1,18 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
+#include <fstream>
 #include <set>
+#include <stdexcept>
 #include <vector>
 
 #include "baselines/cppc_cache.h"
 #include "exp/engine.h"
+#include "exp/json.h"
 #include "exp/mc_experiments.h"
+#include "exp/metrics_io.h"
+#include "exp/result_sink.h"
 #include "exp/seed_stream.h"
 #include "exp/sharder.h"
 #include "exp/thread_pool.h"
@@ -254,6 +260,89 @@ TEST(ExpEngine, RunShardedMergesInShardOrderWithCutoff) {
   const auto cut = run_sharded<ToyResult>(pool, shards, 3, run);
   EXPECT_EQ(cut.failure_intervals, 3u);
   EXPECT_EQ(cut.sum, 29u * 30u / 2);
+}
+
+// ---- result sink error paths -----------------------------------------
+
+class ResultSinkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("sudoku_sink_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(ResultSinkTest, EmptyResultSetStillWritesValidArtifact) {
+  const ResultSink sink(dir_);
+  const JsonObject empty;
+  const RunStats stats;  // zero trials, zero wall time
+  const auto path = sink.write("empty", empty, empty, stats);
+  ASSERT_TRUE(std::filesystem::exists(path));
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("\"experiment\": \"empty\""), std::string::npos);
+  EXPECT_NE(text.find("\"config\": {}"), std::string::npos);
+  EXPECT_NE(text.find("\"trials\":0"), std::string::npos);
+  // No metrics pointer given: the artifact must not claim a metrics section.
+  EXPECT_EQ(text.find("\"metrics\""), std::string::npos);
+}
+
+TEST_F(ResultSinkTest, EmptyMetricsRegistryEmbedsEmptyObject) {
+  const ResultSink sink(dir_);
+  const JsonObject empty;
+  const obs::MetricsRegistry metrics;
+  const auto root = ResultSink::make_root("e", empty, empty, RunStats{}, &metrics);
+  EXPECT_NE(root.str().find("\"metrics\":{}"), std::string::npos);
+}
+
+TEST_F(ResultSinkTest, ThrowsWhenOutputDirectoryCannotBeCreated) {
+  // A regular file where a path component should be a directory makes
+  // create_directories fail on every platform, for every uid (a chmod-based
+  // unwritable directory is invisible to root, which CI runs as).
+  std::filesystem::create_directories(dir_);
+  std::ofstream(dir_ / "blocker") << "not a directory";
+  const ResultSink sink(dir_ / "blocker" / "sub");
+  const JsonObject empty;
+  EXPECT_THROW(sink.write("x", empty, empty, RunStats{}), std::runtime_error);
+}
+
+TEST_F(ResultSinkTest, ThrowsWhenArtifactPathIsUnwritable) {
+  // <out>/<name>.json already exists as a directory: the stream cannot open.
+  std::filesystem::create_directories(dir_ / "clash.json");
+  const ResultSink sink(dir_);
+  const JsonObject empty;
+  EXPECT_THROW(sink.write("clash", empty, empty, RunStats{}), std::runtime_error);
+}
+
+// ---- JSON escaping of metric names ------------------------------------
+
+TEST(JsonEscape, ControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("plain.name"), "plain.name");
+  EXPECT_EQ(json_escape("q\"b\\s"), "q\\\"b\\\\s");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("nul\0byte", 8)), "nul\\u0000byte");
+}
+
+TEST(JsonEscape, NonAsciiUtf8PassesThroughVerbatim) {
+  // JSON strings are UTF-8; multi-byte sequences need no escaping and must
+  // not be mangled byte-by-byte.
+  EXPECT_EQ(json_escape("grüße.μs"), "grüße.μs");
+  EXPECT_EQ(json_escape("度量.计数"), "度量.计数");
+}
+
+TEST(MetricsIoEscaping, NonAsciiAndHostileMetricNames) {
+  obs::MetricsRegistry reg;
+  reg.counter("sudoku.läsfel")->inc(3);
+  reg.counter("weird\"name\n")->inc(1);
+  const std::string json = metrics_to_json(reg).str();
+  EXPECT_NE(json.find("\"sudoku.läsfel\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"weird\\\"name\\n\":1"), std::string::npos);
 }
 
 }  // namespace

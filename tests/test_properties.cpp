@@ -19,6 +19,7 @@
 
 #include "sttram/fault_injector.h"
 #include "sudoku/controller.h"
+#include "sudoku/line_codec.h"
 
 namespace sudoku {
 namespace {
@@ -106,6 +107,71 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(SudokuLevel::kX, SudokuLevel::kY, SudokuLevel::kZ),
                        ::testing::Values(16u, 64u), ::testing::Values(1, 2)),
     sweep_name);
+
+// P5: differential codec property. Random data + a random fault mask of
+// weight <= 6 through encode -> inject -> check_and_correct must land in
+// exactly one of three lawful outcomes, cross-checked bit-for-bit against
+// the golden codeword with BitVec::distance:
+//   kClean         -> the mask was empty (anything else is silent corruption);
+//   kCorrected     -> the stored line equals the golden codeword exactly;
+//   kUncorrectable -> the line is untouched (repair is RAID/SDR's job).
+// Masks of weight <= t must never reach kUncorrectable (inner-code bound).
+// Every assertion prints the trial seed so a failure is replayable.
+class CodecDifferential : public ::testing::TestWithParam<int /*inner t*/> {};
+
+TEST_P(CodecDifferential, RandomMasksCorrectExactlyOrDetect) {
+  const int t = GetParam();
+  const LineCodec codec(t);
+  const std::uint32_t width = codec.total_bits();
+  const std::uint64_t base_seed = 0xd1fful;
+  for (int trial = 0; trial < 400; ++trial) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(trial);
+    Rng rng(seed);
+    BitVec data(LineCodec::kDataBits);
+    for (auto& w : data.words()) w = rng.next_u64();
+    const BitVec golden = codec.encode(data);
+
+    const int weight = static_cast<int>(rng.next_below(7));  // 0..6 faults
+    std::set<std::uint32_t> mask;
+    while (static_cast<int>(mask.size()) < weight) {
+      mask.insert(static_cast<std::uint32_t>(rng.next_below(width)));
+    }
+    BitVec stored = golden;
+    for (const auto bit : mask) stored.flip(bit);
+    ASSERT_EQ(stored.distance(golden), mask.size()) << "seed " << seed;
+
+    const BitVec injected = stored;
+    const auto state = codec.check_and_correct(stored);
+    switch (state) {
+      case LineCodec::LineState::kClean:
+        ASSERT_TRUE(mask.empty())
+            << "seed " << seed << ": " << mask.size()
+            << "-bit mask passed undetected (silent corruption)";
+        ASSERT_EQ(stored.distance(golden), 0u) << "seed " << seed;
+        break;
+      case LineCodec::LineState::kCorrected:
+        ASSERT_EQ(stored.distance(golden), 0u)
+            << "seed " << seed << ": correction did not restore the codeword";
+        ASSERT_EQ(codec.extract_data(stored), data) << "seed " << seed;
+        ASSERT_TRUE(codec.fully_clean(stored)) << "seed " << seed;
+        break;
+      case LineCodec::LineState::kUncorrectable:
+        ASSERT_GT(mask.size(), static_cast<std::size_t>(t))
+            << "seed " << seed << ": <=t faults must be corrected";
+        ASSERT_EQ(stored, injected)
+            << "seed " << seed << ": unrepairable line was modified";
+        break;
+    }
+    if (static_cast<int>(mask.size()) <= t) {
+      ASSERT_NE(state, LineCodec::LineState::kUncorrectable) << "seed " << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(InnerEcc, CodecDifferential, ::testing::Values(1, 2),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "t" + std::to_string(info.param);
+                         });
 
 // P3: level monotonicity on identical fault patterns.
 TEST(LevelMonotonicity, ZSavesWhateverYSavesWhateverXSaves) {
