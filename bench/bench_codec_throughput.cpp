@@ -1,14 +1,26 @@
-// google-benchmark microbenchmarks of the coding substrate: CRC-31 check,
-// Hamming ECC-1 encode/decode, BCH ECC-k decode for k = 1..6. Contextual
-// for §II-D's point that multi-bit ECC decoders are far more expensive
-// than ECC-1 + CRC: the BCH decode cost grows with k while the SuDoku
-// fast path stays flat.
-#include <benchmark/benchmark.h>
+// Microbenchmarks of the coding substrate, tracking the word-at-a-time
+// kernel speedups (docs/perf.md) as an artifact: bit-serial vs byte-table
+// vs slicing-by-8 CRC-31, reference vs parity-mask Hamming syndrome, and
+// reference vs per-word Horner BCH syndromes for ECC-2..6 plus the Hi-ECC
+// geometry. Contextual for §II-D's point that multi-bit ECC decoders are
+// far more expensive than ECC-1 + CRC: the BCH decode cost grows with k
+// while the SuDoku fast path stays flat.
+//
+// Ported onto the shared BenchArgs command line and ResultSink artifact
+// plumbing (bench/out/codec_throughput.json) so the kernel throughput is
+// diffable across PRs like every other bench.
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
 
+#include "bench_util.h"
 #include "codes/bch.h"
 #include "codes/crc31.h"
 #include "codes/hamming.h"
 #include "common/rng.h"
+#include "exp/result_sink.h"
 
 using namespace sudoku;
 
@@ -18,83 +30,194 @@ BitVec random_bits(std::size_t n, Rng& rng) {
   BitVec v(n);
   auto w = v.words();
   for (auto& word : w) word = rng.next_u64();
-  // Mask tail.
   if (n % 64) w[w.size() - 1] &= (std::uint64_t{1} << (n % 64)) - 1;
   return v;
 }
 
-void BM_Crc31Compute(benchmark::State& state) {
-  Rng rng(1);
-  Crc31 crc;
-  const BitVec data = random_bits(512, rng);
-  for (auto _ : state) benchmark::DoNotOptimize(crc.compute(data));
-}
-BENCHMARK(BM_Crc31Compute);
+struct Measurement {
+  std::uint64_t iters = 0;
+  double seconds = 0.0;
+  double mb_per_s = 0.0;  // payload megabytes decoded/checked per second
+};
 
-void BM_HammingEncode(benchmark::State& state) {
-  Rng rng(2);
-  Hamming h(543);
-  BitVec cw = random_bits(553, rng);
-  for (auto _ : state) {
-    h.encode(cw);
-    benchmark::DoNotOptimize(cw);
+// Run `op` (which must consume one `payload_bits`-bit block per call) until
+// the clock budget is spent; calibrates in batches so the timer overhead
+// stays negligible.
+Measurement time_kernel(std::size_t payload_bits, std::uint64_t min_iters,
+                        const std::function<void()>& op) {
+  using Clock = std::chrono::steady_clock;
+  Measurement m;
+  const auto start = Clock::now();
+  std::uint64_t batch = 256;
+  for (;;) {
+    for (std::uint64_t i = 0; i < batch; ++i) op();
+    m.iters += batch;
+    m.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+    if (m.iters >= min_iters && m.seconds >= 0.05) break;
+    batch = batch < (1u << 16) ? batch * 2 : batch;
   }
+  m.mb_per_s = (static_cast<double>(m.iters) * static_cast<double>(payload_bits) /
+                8.0 / 1e6) /
+               m.seconds;
+  return m;
 }
-BENCHMARK(BM_HammingEncode);
 
-void BM_HammingDecodeClean(benchmark::State& state) {
-  Rng rng(3);
-  Hamming h(543);
-  BitVec cw = random_bits(553, rng);
-  h.encode(cw);
-  for (auto _ : state) {
-    BitVec copy = cw;
-    benchmark::DoNotOptimize(h.decode(copy));
-  }
-}
-BENCHMARK(BM_HammingDecodeClean);
+struct Row {
+  std::string code, kernel;
+  Measurement m;
+  double speedup = 1.0;  // vs the row's reference kernel
+};
 
-void BM_HammingDecodeOneError(benchmark::State& state) {
-  Rng rng(4);
-  Hamming h(543);
-  BitVec cw = random_bits(553, rng);
-  h.encode(cw);
-  for (auto _ : state) {
-    BitVec copy = cw;
-    copy.flip(rng.next_below(553));
-    benchmark::DoNotOptimize(h.decode(copy));
-  }
+void print_row(const Row& r) {
+  std::printf("  %-28s %-22s %9.1f MB/s   %6.2fx\n", r.code.c_str(), r.kernel.c_str(),
+              r.m.mb_per_s, r.speedup);
 }
-BENCHMARK(BM_HammingDecodeOneError);
-
-void BM_BchDecode(benchmark::State& state) {
-  const int t = static_cast<int>(state.range(0));
-  Rng rng(5);
-  Bch bch(10, t, 512);
-  BitVec cw = random_bits(bch.codeword_bits(), rng);
-  // Re-encode so the word is valid, then corrupt t bits.
-  for (std::size_t i = 512; i < cw.size(); ++i) cw.reset(i);
-  bch.encode(cw);
-  for (auto _ : state) {
-    BitVec copy = cw;
-    for (int e = 0; e < t; ++e) copy.flip(rng.next_below(copy.size()));
-    benchmark::DoNotOptimize(bch.decode(copy));
-  }
-}
-BENCHMARK(BM_BchDecode)->DenseRange(1, 6);
-
-void BM_BchEncode(benchmark::State& state) {
-  const int t = static_cast<int>(state.range(0));
-  Rng rng(6);
-  Bch bch(10, t, 512);
-  BitVec cw = random_bits(bch.codeword_bits(), rng);
-  for (auto _ : state) {
-    bch.encode(cw);
-    benchmark::DoNotOptimize(cw);
-  }
-}
-BENCHMARK(BM_BchEncode)->DenseRange(1, 6);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const auto args = sudoku::bench::BenchArgs::parse(argc, argv);
+  const std::uint64_t base_iters = 2000 * args.scale;
+  Rng rng(args.seed_or(17));
+
+  bench::print_header("Codec kernel throughput (payload MB/s, higher is better)");
+  bench::print_subnote(
+      "speedup is vs the bit-serial oracle of the same code; all kernels are"
+      " bit-identical (tests/test_codec_kernels.cpp)");
+
+  std::vector<Row> rows;
+  exp::RunStats stats;
+  const auto bench_start = std::chrono::steady_clock::now();
+
+  // ---- CRC-31 over the 512-bit data field ----
+  {
+    const Crc31 crc;
+    const BitVec data = random_bits(512, rng);
+    volatile std::uint32_t sink = 0;
+    const Measurement serial = time_kernel(
+        512, base_iters / 4, [&] { sink = crc.compute_bitserial(data, 512); });
+    const Measurement bytewise = time_kernel(
+        512, base_iters, [&] { sink = crc.compute_bytewise(data, 512); });
+    const Measurement slicing =
+        time_kernel(512, base_iters, [&] { sink = crc.compute(data, 512); });
+    (void)sink;
+    rows.push_back({"crc31", "bit_serial", serial, 1.0});
+    rows.push_back({"crc31", "byte_table", bytewise, bytewise.mb_per_s / serial.mb_per_s});
+    rows.push_back({"crc31", "slicing_by_8", slicing, slicing.mb_per_s / serial.mb_per_s});
+  }
+
+  // ---- Hamming ECC-1 syndrome + decode over the 553-bit line ----
+  {
+    const Hamming h(543);
+    BitVec cw = random_bits(553, rng);
+    h.encode(cw);
+    BitVec dirty = cw;
+    dirty.flip(rng.next_below(553));
+    volatile std::uint32_t sink = 0;
+    const Measurement ref = time_kernel(
+        553, base_iters / 4, [&] { sink = h.syndrome_reference(cw); });
+    const Measurement fast =
+        time_kernel(553, base_iters, [&] { sink = h.syndrome(cw); });
+    (void)sink;
+    rows.push_back({"hamming_543", "syndrome_reference", ref, 1.0});
+    rows.push_back({"hamming_543", "syndrome_masks", fast, fast.mb_per_s / ref.mb_per_s});
+    BitVec scratch(553);
+    const Measurement dec_clean = time_kernel(553, base_iters, [&] {
+      scratch = cw;
+      h.decode(scratch);
+    });
+    const Measurement dec_err = time_kernel(553, base_iters, [&] {
+      scratch = dirty;
+      h.decode(scratch);
+    });
+    rows.push_back({"hamming_543", "decode_clean", dec_clean,
+                    dec_clean.mb_per_s / ref.mb_per_s});
+    rows.push_back({"hamming_543", "decode_one_error", dec_err,
+                    dec_err.mb_per_s / ref.mb_per_s});
+  }
+
+  // ---- BCH ECC-t syndromes (t = 2..6, the baseline strengths) ----
+  for (const int t : {2, 3, 6}) {
+    const Bch bch(10, t, 512);
+    const std::size_t n = bch.codeword_bits();
+    BitVec cw = random_bits(n, rng);
+    for (std::size_t i = 512; i < n; ++i) cw.reset(i);
+    bch.encode(cw);
+    const std::string code = "bch_t" + std::to_string(t);
+    volatile bool bsink = false;
+    const Measurement ref = time_kernel(n, base_iters / 8, [&] {
+      const auto s = bch.syndromes_reference(cw);
+      bsink = s[0] == 0;
+    });
+    const Measurement fast =
+        time_kernel(n, base_iters, [&] { bsink = bch.syndromes_zero(cw); });
+    (void)bsink;
+    rows.push_back({code, "syndromes_reference", ref, 1.0});
+    rows.push_back({code, "syndromes_word_horner", fast, fast.mb_per_s / ref.mb_per_s});
+    // The old clean-line check decoded a copy; the new one is the
+    // allocation-free zero-syndrome fast exit (same `fast` kernel above).
+    BitVec scratch(n);
+    const Measurement old_clean = time_kernel(n, base_iters / 8, [&] {
+      scratch = cw;
+      bsink = bch.decode(scratch).status == Bch::DecodeStatus::kClean;
+    });
+    rows.push_back({code, "clean_check_via_decode", old_clean,
+                    old_clean.mb_per_s / ref.mb_per_s});
+  }
+
+  // ---- Hi-ECC geometry: ECC-6 over 1 KB (m = 14) ----
+  {
+    const Bch bch(14, 6, 8192);
+    const std::size_t n = bch.codeword_bits();
+    BitVec cw = random_bits(n, rng);
+    for (std::size_t i = 8192; i < n; ++i) cw.reset(i);
+    bch.encode(cw);
+    volatile bool bsink = false;
+    const Measurement ref = time_kernel(n, base_iters / 32, [&] {
+      const auto s = bch.syndromes_reference(cw);
+      bsink = s[0] == 0;
+    });
+    const Measurement fast =
+        time_kernel(n, base_iters / 4, [&] { bsink = bch.syndromes_zero(cw); });
+    (void)bsink;
+    rows.push_back({"bch_hiecc_m14_t6", "syndromes_reference", ref, 1.0});
+    rows.push_back({"bch_hiecc_m14_t6", "syndromes_word_horner", fast,
+                    fast.mb_per_s / ref.mb_per_s});
+  }
+
+  exp::JsonArray json_rows;
+  for (const auto& r : rows) {
+    print_row(r);
+    stats.trials += r.m.iters;
+    exp::JsonObject row;
+    row.set("code", r.code)
+        .set("kernel", r.kernel)
+        .set("iters", r.m.iters)
+        .set("seconds", r.m.seconds)
+        .set("mb_per_s", r.m.mb_per_s)
+        .set("speedup_vs_reference", r.speedup);
+    json_rows.push(row);
+  }
+  stats.wall_seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - bench_start)
+                           .count();
+  stats.threads = 1;
+  stats.shards = 1;
+
+  exp::JsonObject config;
+  config.set("seed", args.seed_or(17)).set("scale", args.scale);
+  exp::JsonObject result;
+  result.set("rows", json_rows);
+
+  const exp::ResultSink sink(args.out_dir);
+  const auto path = sink.write("codec_throughput", config, result, stats);
+  std::printf("\n  %llu kernel invocations in %.2f s -> %s\n",
+              static_cast<unsigned long long>(stats.trials), stats.wall_seconds,
+              path.string().c_str());
+  if (args.json) {
+    const auto root =
+        exp::ResultSink::make_root("codec_throughput", config, result, stats);
+    std::printf("%s\n", root.str(/*pretty=*/true).c_str());
+  }
+  return 0;
+}

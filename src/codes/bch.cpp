@@ -46,6 +46,23 @@ Bch::Bch(int m, int t, std::size_t message_bits)
   r_ = gen_.size() - 1;
   n_ = k_ + r_;
   assert(n_ <= order);  // shortened code must fit the natural length
+
+  // Word-level syndrome tables: alpha^(j·(63-k)) weights plus the per-word
+  // (alpha^j)^64 and per-tail (alpha^j)^tail Horner multipliers.
+  words_per_cw_ = (n_ + 63) / 64;
+  tail_bits_ = n_ & 63;
+  syn_weights_.resize(static_cast<std::size_t>(2 * t_) * 64);
+  syn_pow64_.resize(2 * t_);
+  syn_powtail_.resize(2 * t_);
+  for (int j = 1; j <= 2 * t_; ++j) {
+    const std::uint64_t uj = static_cast<std::uint64_t>(j);
+    for (unsigned k = 0; k < 64; ++k) {
+      syn_weights_[static_cast<std::size_t>(j - 1) * 64 + k] =
+          field_.alpha_pow(uj * (63 - k));
+    }
+    syn_pow64_[j - 1] = field_.alpha_pow(uj * 64);
+    syn_powtail_[j - 1] = field_.alpha_pow(uj * tail_bits_);
+  }
 }
 
 void Bch::encode(BitVec& codeword) const {
@@ -70,9 +87,42 @@ void Bch::encode(BitVec& codeword) const {
   }
 }
 
+std::uint32_t Bch::syndrome_one(const BitVec& codeword, int j0) const {
+  // S_j = r(alpha^j) with bit i the coefficient of x^(n-1-i), evaluated by
+  // Horner word-at-a-time: a chunk of width L advances the accumulator by
+  // (alpha^j)^L and folds in alpha^(j·(L-1-k)) per set bit k.
+  const auto words = codeword.words();
+  const std::size_t full_words = tail_bits_ == 0 ? words_per_cw_ : words_per_cw_ - 1;
+  std::uint32_t acc = 0;
+  for (std::size_t wi = 0; wi < full_words; ++wi) {
+    acc = syndrome_word_step(acc, words[wi], j0, syn_pow64_[j0], 0);
+  }
+  if (tail_bits_ != 0) {
+    // Tail weights alpha^(j·(tail-1-k)) live in the same row shifted by
+    // 64-tail (bits past the tail are zero by BitVec's invariant).
+    acc = syndrome_word_step(acc, words[words_per_cw_ - 1], j0, syn_powtail_[j0],
+                             static_cast<unsigned>(64 - tail_bits_));
+  }
+  return acc;
+}
+
 std::vector<std::uint32_t> Bch::syndromes(const BitVec& codeword) const {
-  // S_j = r(alpha^j), j = 1..2t, with bit i the coefficient of x^(n-1-i).
-  // Horner: S = S*alpha^j + bit, walking i ascending.
+  assert(codeword.size() == n_);
+  std::vector<std::uint32_t> s(2 * t_, 0);
+  for (int j0 = 0; j0 < 2 * t_; ++j0) s[j0] = syndrome_one(codeword, j0);
+  return s;
+}
+
+bool Bch::syndromes_zero(const BitVec& codeword) const {
+  assert(codeword.size() == n_);
+  for (int j0 = 0; j0 < 2 * t_; ++j0) {
+    if (syndrome_one(codeword, j0) != 0) return false;
+  }
+  return true;
+}
+
+std::vector<std::uint32_t> Bch::syndromes_reference(const BitVec& codeword) const {
+  // Bit-serial Horner oracle: S = S*alpha^j + bit, walking i ascending.
   std::vector<std::uint32_t> s(2 * t_, 0);
   for (int j = 1; j <= 2 * t_; ++j) {
     const std::uint32_t aj = field_.alpha_pow(static_cast<std::uint64_t>(j));
@@ -138,23 +188,28 @@ Bch::DecodeResult Bch::decode(BitVec& codeword) const {
   }
 
   // Chien search over the shortened positions. Bit index i corresponds to
-  // polynomial degree n-1-i; a root Lambda(alpha^{-deg}) == 0 marks degree
-  // `deg` as faulty.
+  // polynomial degree n-1-i; a root Lambda(alpha^{-d_pos}) == 0 marks that
+  // degree as faulty. Incremental form: term c holds lambda_c·x_i^c, and
+  // stepping i -> i+1 multiplies x by alpha, i.e. term c by alpha^c — one
+  // field multiply per term per position, no exponentiations in the loop.
   std::vector<std::size_t> error_idx;
+  std::vector<std::uint32_t> terms(lambda.size());
+  std::vector<std::uint32_t> steps(lambda.size());
+  const std::uint32_t x0 = field_.alpha_pow(
+      (field_.order() - (n_ - 1) % field_.order()) % field_.order());
+  for (std::size_t c = 0; c < lambda.size(); ++c) {
+    terms[c] = field_.mul(lambda[c], field_.pow(x0, c));
+    steps[c] = field_.alpha_pow(c);
+  }
   for (std::size_t i = 0; i < n_; ++i) {
-    const std::uint64_t d_pos = n_ - 1 - i;
-    // x = alpha^{-d_pos}
-    const std::uint32_t x =
-        field_.alpha_pow((field_.order() - d_pos % field_.order()) % field_.order());
     std::uint32_t acc = 0;
-    std::uint32_t xp = 1;
-    for (const auto c : lambda) {
-      acc ^= field_.mul(c, xp);
-      xp = field_.mul(xp, x);
-    }
+    for (const auto term : terms) acc ^= term;
     if (acc == 0) {
       error_idx.push_back(i);
       if (static_cast<int>(error_idx.size()) > deg) break;
+    }
+    for (std::size_t c = 1; c < terms.size(); ++c) {
+      terms[c] = field_.mul(terms[c], steps[c]);
     }
   }
   if (static_cast<int>(error_idx.size()) != deg) {

@@ -45,6 +45,22 @@ class Bch {
 
   DecodeResult decode(BitVec& codeword) const;
 
+  // Power-sum syndromes S_1..S_2t of a (possibly corrupted) codeword.
+  // Word-at-a-time Horner: per backing word, one multiply by alpha^(64·j)
+  // plus an XOR of a precomputed weight per set bit, instead of one field
+  // multiply per codeword bit. Public so the differential kernel tests and
+  // the throughput bench can compare it against the bit-serial oracle.
+  std::vector<std::uint32_t> syndromes(const BitVec& codeword) const;
+
+  // Bit-serial oracle (one field multiply per bit per syndrome); identical
+  // values to syndromes().
+  std::vector<std::uint32_t> syndromes_reference(const BitVec& codeword) const;
+
+  // True iff every syndrome is zero. Allocation-free with per-syndrome
+  // early exit — the scrub fast path for clean lines, which no longer
+  // copies the codeword through a trial decode.
+  bool syndromes_zero(const BitVec& codeword) const;
+
  private:
   int m_;
   int t_;
@@ -57,7 +73,30 @@ class Bch {
   // 63 (e.g. 84 for Hi-ECC's ECC-6 over 1 KB).
   std::vector<std::uint8_t> gen_;
 
-  std::vector<std::uint32_t> syndromes(const BitVec& codeword) const;
+  // Word-level syndrome tables, built once per code. For syndrome j
+  // (1-based), row j-1 of syn_weights_ holds alpha^(j·(63-k)) for word-bit
+  // position k, syn_pow64_ holds alpha^(64·j) (the per-word Horner
+  // multiplier), and syn_powtail_ holds alpha^(tail_bits·j) for the final
+  // partial word. Tail weights reuse the same row at offset 64-tail_bits.
+  std::size_t words_per_cw_ = 0;
+  std::size_t tail_bits_ = 0;  // n_ mod 64 (0 = codeword ends word-aligned)
+  std::vector<std::uint32_t> syn_weights_;  // 2t rows of 64
+  std::vector<std::uint32_t> syn_pow64_;
+  std::vector<std::uint32_t> syn_powtail_;
+
+  // Horner step over one word chunk of `width` bits for syndrome row j0.
+  std::uint32_t syndrome_word_step(std::uint32_t acc, std::uint64_t w, int j0,
+                                   std::uint32_t pow, unsigned weight_offset) const {
+    acc = field_.mul(acc, pow);
+    const std::uint32_t* weights = &syn_weights_[static_cast<std::size_t>(j0) * 64];
+    while (w != 0) {
+      acc ^= weights[weight_offset + static_cast<unsigned>(std::countr_zero(w))];
+      w &= w - 1;
+    }
+    return acc;
+  }
+
+  std::uint32_t syndrome_one(const BitVec& codeword, int j0) const;
 };
 
 }  // namespace sudoku

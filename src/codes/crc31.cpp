@@ -6,6 +6,17 @@
 
 namespace sudoku {
 
+namespace {
+
+std::uint8_t bitrev8(std::uint8_t b) {
+  b = static_cast<std::uint8_t>(((b & 0xF0u) >> 4) | ((b & 0x0Fu) << 4));
+  b = static_cast<std::uint8_t>(((b & 0xCCu) >> 2) | ((b & 0x33u) << 2));
+  b = static_cast<std::uint8_t>(((b & 0xAAu) >> 1) | ((b & 0x55u) << 1));
+  return b;
+}
+
+}  // namespace
+
 std::uint64_t Crc31::canonical_generator() {
   // (x+1) * (smallest primitive polynomial of degree 30). Computed once;
   // the search is a few milliseconds. Verified primitive in tests.
@@ -16,11 +27,15 @@ std::uint64_t Crc31::canonical_generator() {
   return g;
 }
 
-Crc31::Crc31() : poly_(canonical_generator()) { build_table(); }
+Crc31::Crc31() : poly_(canonical_generator()) {
+  build_table();
+  build_slices();
+}
 
 Crc31::Crc31(std::uint64_t generator) : poly_(generator) {
   assert(gf2::degree(generator) == kBits);
   build_table();
+  build_slices();
 }
 
 void Crc31::build_table() {
@@ -39,7 +54,66 @@ void Crc31::build_table() {
   }
 }
 
+void Crc31::build_slices() {
+  // The byte step is affine-linear over GF(2): with A(reg) = advance8(reg)
+  // and T[] the byte table, step(reg, b) = A(reg) ^ T[b]. Eight steps give
+  //   reg' = A^8(reg) ^ A^7(T[b0]) ^ A^6(T[b1]) ^ ... ^ T[b7]
+  // so slice k holds A^k(T[.]) and a word costs 8 lookups plus 4 more to
+  // advance the register. BitVec stores the first-transmitted bit of each
+  // byte lane in the lane's LSB while the CRC consumes it MSB-first; the
+  // bit reversal is folded into the slice index.
+  for (std::uint32_t b = 0; b < 256; ++b) {
+    std::uint32_t v = table_[bitrev8(static_cast<std::uint8_t>(b))];
+    slice_[0][b] = v;
+    for (int k = 1; k < 8; ++k) {
+      v = advance8(v);
+      slice_[k][b] = v;
+    }
+  }
+  // A^8 is linear in the register; decompose it into the four byte lanes.
+  for (std::uint32_t b = 0; b < 256; ++b) {
+    for (int j = 0; j < 4; ++j) {
+      std::uint32_t v = (b << (8 * j)) & 0x7FFFFFFFu;
+      for (int s = 0; s < 8; ++s) v = advance8(v);
+      fold_[j][b] = v;
+    }
+  }
+}
+
 std::uint32_t Crc31::compute(const BitVec& bits, std::size_t nbits) const {
+  assert(nbits <= bits.size());
+  std::uint32_t reg = 0;
+  // Bulk: one 64-bit message word per step, straight off the backing words.
+  const std::size_t whole_words = nbits / 64;
+  const auto words = bits.words();
+  for (std::size_t wi = 0; wi < whole_words; ++wi) {
+    const std::uint64_t w = words[wi];
+    reg = fold_[0][reg & 0xFFu] ^ fold_[1][(reg >> 8) & 0xFFu] ^
+          fold_[2][(reg >> 16) & 0xFFu] ^ fold_[3][(reg >> 24) & 0xFFu] ^
+          slice_[7][w & 0xFFu] ^ slice_[6][(w >> 8) & 0xFFu] ^
+          slice_[5][(w >> 16) & 0xFFu] ^ slice_[4][(w >> 24) & 0xFFu] ^
+          slice_[3][(w >> 32) & 0xFFu] ^ slice_[2][(w >> 40) & 0xFFu] ^
+          slice_[1][(w >> 48) & 0xFFu] ^ slice_[0][(w >> 56) & 0xFFu];
+  }
+  std::size_t i = whole_words * 64;
+  // Tail: whole bytes through the byte table, then bit-serial.
+  const std::size_t whole_bytes = nbits / 8;
+  for (std::size_t b = i / 8; b < whole_bytes; ++b) {
+    std::uint32_t byte = 0;
+    for (int k = 0; k < 8; ++k) byte = (byte << 1) | (bits.test(i + k) ? 1u : 0u);
+    reg = ((reg << 8) & 0x7FFFFFFFu) ^ table_[((reg >> 23) ^ byte) & 0xFFu];
+    i += 8;
+  }
+  const std::uint32_t low = static_cast<std::uint32_t>(poly_ & 0x7FFFFFFFu);
+  for (; i < nbits; ++i) {
+    const bool fold = (((reg >> 30) & 1u) ^ (bits.test(i) ? 1u : 0u)) != 0;
+    reg = (reg << 1) & 0x7FFFFFFFu;
+    if (fold) reg ^= low;
+  }
+  return reg;
+}
+
+std::uint32_t Crc31::compute_bytewise(const BitVec& bits, std::size_t nbits) const {
   assert(nbits <= bits.size());
   std::uint32_t reg = 0;
   std::size_t i = 0;
@@ -56,6 +130,18 @@ std::uint32_t Crc31::compute(const BitVec& bits, std::size_t nbits) const {
   // register before shifting).
   const std::uint32_t low = static_cast<std::uint32_t>(poly_ & 0x7FFFFFFFu);
   for (; i < nbits; ++i) {
+    const bool fold = (((reg >> 30) & 1u) ^ (bits.test(i) ? 1u : 0u)) != 0;
+    reg = (reg << 1) & 0x7FFFFFFFu;
+    if (fold) reg ^= low;
+  }
+  return reg;
+}
+
+std::uint32_t Crc31::compute_bitserial(const BitVec& bits, std::size_t nbits) const {
+  assert(nbits <= bits.size());
+  const std::uint32_t low = static_cast<std::uint32_t>(poly_ & 0x7FFFFFFFu);
+  std::uint32_t reg = 0;
+  for (std::size_t i = 0; i < nbits; ++i) {
     const bool fold = (((reg >> 30) & 1u) ^ (bits.test(i) ? 1u : 0u)) != 0;
     reg = (reg << 1) & 0x7FFFFFFFu;
     if (fold) reg ^= low;

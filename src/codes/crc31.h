@@ -10,6 +10,16 @@
 // is the closest reproducible equivalent (the exact Koopman polynomial is
 // behind a web table) and the analytical models use the paper's stated
 // detection properties. See DESIGN.md §4.
+//
+// Three compute kernels, all returning the identical CRC value (enforced
+// by the differential tests in tests/test_codec_kernels.cpp):
+//   compute()           slicing-by-8: one 64-bit message word per step,
+//                       12 table lookups, no per-bit access — the hot path;
+//   compute_bytewise()  classic byte-at-a-time table CRC (assembles bytes
+//                       from individual bits);
+//   compute_bitserial() tableless shift-and-fold oracle, the reference the
+//                       fast kernels are verified against.
+// See docs/perf.md for the kernel layout.
 #pragma once
 
 #include <cstdint>
@@ -35,14 +45,35 @@ class Crc31 {
   // CRC over a full bit vector.
   std::uint32_t compute(const BitVec& bits) const { return compute(bits, bits.size()); }
 
+  // Byte-at-a-time table kernel (the pre-slicing hot path, kept so the
+  // throughput bench can track the win and as a second differential point).
+  std::uint32_t compute_bytewise(const BitVec& bits, std::size_t nbits) const;
+
+  // Tableless bit-serial oracle: the definitional shift-and-fold loop.
+  std::uint32_t compute_bitserial(const BitVec& bits, std::size_t nbits) const;
+
   // The canonical generator used across the library (computed once).
   static std::uint64_t canonical_generator();
 
  private:
   std::uint64_t poly_;               // full generator incl. x^31 term
   std::uint32_t table_[256];         // byte-at-a-time table (poly w/o top bit)
+  // Slicing-by-8 tables. A message word w contributes 8 bytes; byte lane j
+  // (bits 8j..8j+7 of w, transmitted LSB-of-lane first) indexes
+  // slice_[7-j] directly — the bit-reversal from BitVec bit order to CRC
+  // transmission order is folded into the tables at construction.
+  std::uint32_t slice_[8][256];
+  // Register advance over 8 zero bytes, decomposed into the four register
+  // byte lanes: A^8(reg) = fold_[0][reg&FF] ^ ... ^ fold_[3][reg>>24].
+  std::uint32_t fold_[4][256];
 
   void build_table();
+  void build_slices();
+
+  // One byte-step of the CRC register with a zero message byte.
+  std::uint32_t advance8(std::uint32_t reg) const {
+    return ((reg << 8) & 0x7FFFFFFFu) ^ table_[(reg >> 23) & 0xFFu];
+  }
 };
 
 }  // namespace sudoku

@@ -34,7 +34,14 @@ class Hamming {
   void encode(BitVec& codeword) const;
 
   // Syndrome of a (possibly corrupted) codeword. 0 = consistent.
+  // Word-parallel: one AND + popcount-parity per check bit per backing
+  // word, using the per-word parity masks precomputed at construction.
   std::uint32_t syndrome(const BitVec& codeword) const;
+
+  // Bit-serial oracle (XOR of the positions of all set bits, walking set
+  // bits one at a time). Identical value to syndrome(); kept as the
+  // reference for the differential kernel tests and the throughput bench.
+  std::uint32_t syndrome_reference(const BitVec& codeword) const;
 
   enum class DecodeStatus {
     kClean,          // syndrome 0, nothing done
@@ -54,6 +61,12 @@ class Hamming {
   std::vector<std::uint32_t> index_to_pos_;
   // Hamming position -> index + 1 (0 = invalid position)
   std::vector<std::uint32_t> pos_to_index_plus1_;
+  // Per-check-bit parity masks over the codeword's backing words: row j
+  // (words_per_cw_ words starting at j*words_per_cw_) selects the indices
+  // whose Hamming position has bit j set. Syndrome bit j is the parity of
+  // popcount(codeword & row_j).
+  std::size_t words_per_cw_ = 0;
+  std::vector<std::uint64_t> check_masks_;
 };
 
 }  // namespace sudoku

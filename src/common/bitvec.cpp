@@ -54,6 +54,31 @@ std::vector<std::size_t> BitVec::set_positions(std::size_t limit) const {
   return out;
 }
 
+std::uint64_t BitVec::get_bits(std::size_t pos, unsigned nbits) const {
+  assert(nbits >= 1 && nbits <= 64 && pos + nbits <= nbits_);
+  const std::size_t wi = pos >> 6;
+  const unsigned off = static_cast<unsigned>(pos & 63);
+  std::uint64_t v = words_[wi] >> off;
+  if (off != 0 && off + nbits > 64) v |= words_[wi + 1] << (64 - off);
+  if (nbits < 64) v &= (std::uint64_t{1} << nbits) - 1;
+  return v;
+}
+
+void BitVec::set_bits(std::size_t pos, unsigned nbits, std::uint64_t value) {
+  assert(nbits >= 1 && nbits <= 64 && pos + nbits <= nbits_);
+  const std::uint64_t mask =
+      nbits == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << nbits) - 1;
+  value &= mask;
+  const std::size_t wi = pos >> 6;
+  const unsigned off = static_cast<unsigned>(pos & 63);
+  words_[wi] = (words_[wi] & ~(mask << off)) | (value << off);
+  if (off != 0 && off + nbits > 64) {
+    const unsigned spill = off + nbits - 64;
+    const std::uint64_t hi_mask = (std::uint64_t{1} << spill) - 1;
+    words_[wi + 1] = (words_[wi + 1] & ~hi_mask) | (value >> (64 - off));
+  }
+}
+
 std::size_t BitVec::distance(const BitVec& o) const {
   assert(nbits_ == o.nbits_);
   std::size_t n = 0;

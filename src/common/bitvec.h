@@ -43,6 +43,12 @@ class BitVec {
   // used by SDR, which gives up beyond 6 mismatches anyway.
   std::vector<std::size_t> set_positions(std::size_t limit = 0) const;
 
+  // Read/write a field of up to 64 bits starting at `pos`, word-parallel
+  // (at most two word accesses). Bit `pos` lands in bit 0 of the result.
+  // Used by the codec hot path to move the CRC field without per-bit calls.
+  std::uint64_t get_bits(std::size_t pos, unsigned nbits) const;
+  void set_bits(std::size_t pos, unsigned nbits, std::uint64_t value);
+
   // Hamming distance to another vector of identical size.
   std::size_t distance(const BitVec& o) const;
 

@@ -1,7 +1,7 @@
 #include "reliability/montecarlo.h"
 
+#include <algorithm>
 #include <sstream>
-#include <unordered_set>
 
 #include "common/prob.h"
 #include "obs/macros.h"
@@ -132,11 +132,15 @@ McResult run_montecarlo(const McConfig& config) {
     result.due_lines += stats.due_lines;
 
     bool interval_failed = stats.due_lines > 0;
-    const std::unordered_set<std::uint64_t> due(stats.due_line_ids.begin(),
-                                                stats.due_line_ids.end());
+    // DUE lines are rare and few per interval; a linear scan of the small
+    // id vector beats rebuilding a hash set every interval.
+    const auto& due_ids = stats.due_line_ids;
+    const auto is_due = [&due_ids](std::uint64_t line) {
+      return std::find(due_ids.begin(), due_ids.end(), line) != due_ids.end();
+    };
     if (config.verify_against_golden) {
       for (const auto line : touched) {
-        if (due.count(line)) continue;  // already accounted as DUE
+        if (is_due(line)) continue;  // already accounted as DUE
         if (!ctrl.array().line_equals(line, golden.read_line(line))) {
           ++result.sdc_lines;
           OBS_INC(m_sdc);

@@ -1,24 +1,41 @@
 #include "sttram/fault_injector.h"
 
-#include <algorithm>
+#include <unordered_set>
 
 namespace sudoku {
 
 FaultBatch FaultInjector::sample_interval(Rng& rng) const {
-  FaultBatch batch;
   const std::uint64_t total_bits = num_lines_ * bits_per_line_;
   const std::uint64_t nfaults = rng.next_binomial(total_bits, ber_);
-  batch.reserve(nfaults);
+
+  // Draw distinct flat positions, re-drawing on collision. Rejection
+  // sampling conditions the joint distribution on "all positions
+  // distinct", under which every set of distinct positions is equally
+  // likely — i.e. the dedup introduces no bias (each accepted draw is
+  // uniform over the not-yet-drawn positions; see the uniformity test in
+  // tests/test_fault_injector.cpp). The hash-set membership check makes
+  // acceptance O(1) instead of the per-line linear scan it replaces, while
+  // consuming exactly the same RNG draws in the same order.
+  std::vector<std::uint64_t> drawn;
+  drawn.reserve(nfaults);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(nfaults * 2);
   for (std::uint64_t f = 0; f < nfaults; ++f) {
     for (;;) {
       const std::uint64_t pos = rng.next_below(total_bits);
-      const std::uint64_t line = pos / bits_per_line_;
-      const auto bit = static_cast<std::uint32_t>(pos % bits_per_line_);
-      auto& v = batch[line];
-      if (std::find(v.begin(), v.end(), bit) != v.end()) continue;  // re-draw
-      v.push_back(bit);
+      if (!seen.insert(pos).second) continue;  // re-draw
+      drawn.push_back(pos);
       break;
     }
+  }
+
+  // Group by line in draw order (position <-> (line, bit) is a bijection,
+  // so global distinctness equals per-line bit distinctness).
+  FaultBatch batch;
+  batch.reserve(nfaults);
+  for (const auto pos : drawn) {
+    batch[pos / bits_per_line_].push_back(
+        static_cast<std::uint32_t>(pos % bits_per_line_));
   }
   return batch;
 }

@@ -19,6 +19,11 @@ namespace sudoku {
 // Faulty bit positions per line for one interval. Positions within a line
 // are de-duplicated (two thermal flips of the same bit cancel; the sampler
 // re-draws instead, an event with negligible probability at our rates).
+// Dedup-by-redraw is unbiased: conditioning i.i.d. uniform draws on "all
+// distinct" makes every distinct position set equally likely, so the k-th
+// accepted draw is uniform over the remaining positions. Both properties
+// (uniformity, and the exact per-seed output incl. RNG consumption) are
+// pinned by regression tests in tests/test_fault_injector.cpp.
 using FaultBatch = std::unordered_map<std::uint64_t, std::vector<std::uint32_t>>;
 
 class FaultInjector {

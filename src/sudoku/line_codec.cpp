@@ -18,16 +18,17 @@ std::uint32_t LineCodec::ecc_bits() const {
                   : static_cast<std::uint32_t>(bch_->parity_bits());
 }
 
+// The data field is word-aligned (512 = 8 whole words), so encode/extract
+// move it as words rather than bit by bit.
+static_assert(LineCodec::kDataBits % 64 == 0);
+
 BitVec LineCodec::encode(const BitVec& data) const {
   assert(data.size() == kDataBits);
   BitVec stored(total_bits());
-  for (std::uint32_t i = 0; i < kDataBits; ++i) {
-    if (data.test(i)) stored.set(i);
-  }
-  const std::uint32_t crc = crc_.compute(data, kDataBits);
-  for (std::uint32_t b = 0; b < kCrcBits; ++b) {
-    stored.assign(kDataBits + b, (crc >> b) & 1u);
-  }
+  const auto src = data.words();
+  auto dst = stored.words();
+  for (std::size_t wi = 0; wi < kDataBits / 64; ++wi) dst[wi] = src[wi];
+  stored.set_bits(kDataBits, kCrcBits, crc_.compute(data, kDataBits));
   if (hamming_) {
     hamming_->encode(stored);
   } else {
@@ -38,27 +39,26 @@ BitVec LineCodec::encode(const BitVec& data) const {
 
 BitVec LineCodec::extract_data(const BitVec& stored) const {
   BitVec data(kDataBits);
-  for (std::uint32_t i = 0; i < kDataBits; ++i) {
-    if (stored.test(i)) data.set(i);
-  }
+  const auto src = stored.words();
+  auto dst = data.words();
+  for (std::size_t wi = 0; wi < kDataBits / 64; ++wi) dst[wi] = src[wi];
   return data;
 }
 
 bool LineCodec::crc_ok(const BitVec& stored) const {
   const std::uint32_t computed = crc_.compute(stored, kDataBits);
-  std::uint32_t held = 0;
-  for (std::uint32_t b = 0; b < kCrcBits; ++b) {
-    if (stored.test(kDataBits + b)) held |= 1u << b;
-  }
+  const std::uint32_t held =
+      static_cast<std::uint32_t>(stored.get_bits(kDataBits, kCrcBits));
   return computed == held;
 }
 
 bool LineCodec::inner_syndrome_clean(const BitVec& stored) const {
   if (hamming_) return hamming_->syndrome(stored) == 0;
-  // For BCH, "clean" means a decode reports no errors; checking syndromes
-  // without mutating is what decode does on a copy.
-  BitVec copy = stored;
-  return bch_->decode(copy).status == Bch::DecodeStatus::kClean;
+  // Zero-syndrome fast path: checking the power sums directly skips the
+  // codeword copy and Berlekamp-Massey setup a trial decode would do —
+  // clean lines (the overwhelmingly common case at realistic BERs) now
+  // cost no allocation at all.
+  return bch_->syndromes_zero(stored);
 }
 
 bool LineCodec::fully_clean(const BitVec& stored) const {

@@ -137,5 +137,74 @@ TEST(BitVec, ToStringMatchesBits) {
   EXPECT_EQ(v.to_string(), "0101");
 }
 
+TEST(BitVec, GetBitsMatchesPerBitReads) {
+  BitVec v(200);
+  for (std::size_t i = 0; i < 200; i += 3) v.set(i);
+  v.set(63);
+  v.set(64);
+  v.set(127);
+  for (const std::size_t pos : {std::size_t{0}, std::size_t{1}, std::size_t{60},
+                                std::size_t{63}, std::size_t{64}, std::size_t{100},
+                                std::size_t{136}}) {
+    for (const unsigned nbits : {1u, 7u, 31u, 32u, 63u, 64u}) {
+      if (pos + nbits > 200) continue;
+      const std::uint64_t got = v.get_bits(pos, nbits);
+      for (unsigned b = 0; b < nbits; ++b) {
+        EXPECT_EQ((got >> b) & 1u, v.test(pos + b) ? 1u : 0u)
+            << "pos " << pos << " nbits " << nbits << " b " << b;
+      }
+      if (nbits < 64) EXPECT_EQ(got >> nbits, 0u);
+    }
+  }
+}
+
+TEST(BitVec, SetBitsRoundTripsAndPreservesNeighbours) {
+  for (const std::size_t pos : {std::size_t{0}, std::size_t{33}, std::size_t{63},
+                                std::size_t{64}, std::size_t{90}}) {
+    for (const unsigned nbits : {1u, 13u, 31u, 64u}) {
+      BitVec v(200);
+      for (std::size_t i = 0; i < 200; ++i)
+        if (i % 2) v.set(i);
+      const BitVec before = v;
+      const std::uint64_t value = 0xA5C3F00D12345678ull;
+      v.set_bits(pos, nbits, value);
+      EXPECT_EQ(v.get_bits(pos, nbits),
+                nbits == 64 ? value : (value & ((std::uint64_t{1} << nbits) - 1)));
+      for (std::size_t i = 0; i < 200; ++i) {
+        if (i >= pos && i < pos + nbits) continue;
+        EXPECT_EQ(v.test(i), before.test(i)) << "pos " << pos << " nbits " << nbits
+                                             << " neighbour " << i;
+      }
+    }
+  }
+}
+
+// The word-parallel comparison/distance kernels must agree with per-bit
+// scans, including awkward tail widths (the scrub and SDC-verify paths
+// lean on them every interval).
+TEST(BitVec, DistanceAndEqualityAgreeWithPerBitScan) {
+  std::uint64_t state = 42;
+  for (const std::size_t n : {std::size_t{1}, std::size_t{63}, std::size_t{64},
+                              std::size_t{65}, std::size_t{553}, std::size_t{574}}) {
+    BitVec a(n), b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (splitmix64_next(state) & 1) a.set(i);
+      if (splitmix64_next(state) & 1) b.set(i);
+    }
+    std::size_t manual = 0;
+    for (std::size_t i = 0; i < n; ++i) manual += a.test(i) != b.test(i);
+    EXPECT_EQ(a.distance(b), manual) << "n " << n;
+    EXPECT_EQ(a == b, manual == 0) << "n " << n;
+    BitVec c = a;
+    EXPECT_EQ(a.distance(c), 0u);
+    EXPECT_EQ(a, c);
+    if (n > 1) {
+      c.flip(n - 1);  // tail-word bit
+      EXPECT_EQ(a.distance(c), 1u) << "n " << n;
+      EXPECT_NE(a, c) << "n " << n;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace sudoku
