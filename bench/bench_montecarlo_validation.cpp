@@ -10,10 +10,14 @@
 // Runs on the src/exp engine: trials shard across a work-stealing pool
 // with per-trial seed streams, so DUE/SDC counts are bit-identical for any
 // --threads value, and an artifact with the merged results + throughput is
-// written under bench/out/.
+// written under bench/out/. With --checkpoint=DIR the run is resumable
+// after SIGINT/SIGTERM (exit 75); a --resume replays finished shards and
+// produces the same artifact bytes outside the "throughput" section.
 #include <cstdio>
+#include <optional>
 
 #include "bench_util.h"
+#include "exp/checkpoint.h"
 #include "exp/mc_experiments.h"
 #include "exp/metrics_io.h"
 #include "reliability/analytical.h"
@@ -31,7 +35,7 @@ struct Case {
 };
 
 exp::JsonObject validate(const Case& c, const bench::BenchArgs& args,
-                         exp::RunStats& total_stats,
+                         const exp::ExpOptions& opts, exp::RunStats& total_stats,
                          obs::MetricsRegistry& total_metrics) {
   McConfig cfg;
   cfg.cache.num_lines = 1u << 12;
@@ -41,10 +45,9 @@ exp::JsonObject validate(const Case& c, const bench::BenchArgs& args,
   cfg.max_intervals = c.intervals;
   cfg.seed = args.seed_or(99);
 
-  exp::ExpOptions opts;
-  opts.threads = args.threads;
   exp::RunStats stats;
   const auto mc = exp::run_montecarlo_parallel(cfg, opts, &stats);
+  bench::exit_if_interrupted(args);
   total_stats += stats;
   total_metrics += mc.metrics;
 
@@ -64,6 +67,8 @@ exp::JsonObject validate(const Case& c, const bench::BenchArgs& args,
       static_cast<unsigned long long>(mc.sdc_lines),
       bench::sci(stats.trials_per_second()).c_str());
 
+  // Wall-clock rates stay on the console only: the artifact's result rows
+  // must be byte-identical across reruns and checkpoint resumes.
   exp::JsonObject row;
   row.set("level", to_string(c.level))
       .set("ber", c.ber)
@@ -73,8 +78,7 @@ exp::JsonObject validate(const Case& c, const bench::BenchArgs& args,
       .set("sdc_lines", mc.sdc_lines)
       .set("failure_intervals", mc.failure_intervals)
       .set("mc_p_interval", mc.p_failure_per_interval())
-      .set("analytical_p_interval", an.p_interval())
-      .set("trials_per_second", stats.trials_per_second());
+      .set("analytical_p_interval", an.p_interval());
   return row;
 }
 
@@ -82,6 +86,7 @@ exp::JsonObject validate(const Case& c, const bench::BenchArgs& args,
 
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
+  exp::install_signal_handlers();
   const Case cases[] = {
       {SudokuLevel::kX, 1e-4, 800 * args.scale},
       {SudokuLevel::kX, 2e-4, 400 * args.scale},
@@ -91,21 +96,31 @@ int main(int argc, char** argv) {
   };
 
   bench::print_header("Monte-Carlo vs analytical (256 KB cache, 64-line groups)");
+  std::optional<exp::CheckpointStore> store;
+  if (args.checkpointing()) store.emplace(args.checkpoint_dir, args.resume);
+  exp::ShardRunReport report;
+
+  exp::ExpOptions opts;
+  opts.threads = args.threads;
+  opts.checkpoint = store ? &*store : nullptr;
+  opts.checkpoint_scope = "mc_validation";
+  opts.report = &report;
+
   exp::RunStats total_stats;
   obs::MetricsRegistry total_metrics;
   exp::JsonArray rows;
 
   std::printf("\n  SuDoku-X (failures ~ groups with two 2-fault lines):\n");
-  rows.push(validate(cases[0], args, total_stats, total_metrics));
-  rows.push(validate(cases[1], args, total_stats, total_metrics));
+  rows.push(validate(cases[0], args, opts, total_stats, total_metrics));
+  rows.push(validate(cases[1], args, opts, total_stats, total_metrics));
 
   std::printf("\n  SuDoku-Y (failures need 3+3-fault pairs / full overlaps):\n");
-  rows.push(validate(cases[2], args, total_stats, total_metrics));
-  rows.push(validate(cases[3], args, total_stats, total_metrics));
+  rows.push(validate(cases[2], args, opts, total_stats, total_metrics));
+  rows.push(validate(cases[3], args, opts, total_stats, total_metrics));
 
   std::printf("\n  SuDoku-Z (failures need hard 4-cycles; at the Y-failure BER the\n");
   std::printf("  MC should show far fewer events than Y):\n");
-  rows.push(validate(cases[4], args, total_stats, total_metrics));
+  rows.push(validate(cases[4], args, opts, total_stats, total_metrics));
 
   std::printf("\n  The analytical models capture the leading-order failure modes;\n");
   std::printf("  MC includes every higher-order interaction, so modest (<2x)\n");
@@ -121,15 +136,25 @@ int main(int argc, char** argv) {
 
   const exp::ResultSink sink(args.out_dir);
   const auto path = sink.write("montecarlo_validation", config, result, total_stats,
-                               &total_metrics);
+                               &total_metrics, &report);
   std::printf("\n  %llu trials in %.2f s (%s trials/s, %u threads) -> %s\n",
               static_cast<unsigned long long>(total_stats.trials),
               total_stats.wall_seconds,
               bench::sci(total_stats.trials_per_second()).c_str(),
               total_stats.threads, path.string().c_str());
+  if (store || report.degraded()) {
+    std::printf("  fault tolerance: %llu/%llu shards resumed, %llu retries, "
+                "%llu quarantined (%llu trials)\n",
+                static_cast<unsigned long long>(report.shards_resumed),
+                static_cast<unsigned long long>(report.shards_total),
+                static_cast<unsigned long long>(report.shards_retried),
+                static_cast<unsigned long long>(report.shards_quarantined),
+                static_cast<unsigned long long>(report.trials_quarantined));
+  }
   if (args.json) {
     const auto root = exp::ResultSink::make_root("montecarlo_validation", config,
-                                                 result, total_stats, &total_metrics);
+                                                 result, total_stats, &total_metrics,
+                                                 &report);
     std::printf("%s\n", root.str(/*pretty=*/true).c_str());
   }
   return 0;

@@ -6,15 +6,20 @@
 // The MC section runs on the src/exp engine: each scheme's intervals shard
 // across the pool (one scheme instance per shard via a factory) with
 // per-trial seed streams, so counts are thread-count-invariant; the whole
-// comparison is written as a bench/out JSON artifact.
+// comparison is written as a bench/out JSON artifact. With --checkpoint /
+// --resume each scheme's shards checkpoint under their own scope (the
+// baseline configs are otherwise identical across schemes, so the scope is
+// what keeps their checkpoint trees apart — see docs/robustness.md).
 #include <cstdio>
 #include <memory>
+#include <optional>
 
 #include "baselines/cppc_cache.h"
 #include "baselines/mc_runner.h"
 #include "baselines/raid6_cache.h"
 #include "baselines/twodp_cache.h"
 #include "bench_util.h"
+#include "exp/checkpoint.h"
 #include "exp/mc_experiments.h"
 #include "exp/metrics_io.h"
 #include "reliability/analytical.h"
@@ -25,6 +30,7 @@ using namespace sudoku::reliability;
 
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
+  exp::install_signal_handlers();
   bench::print_header("Table XI: Comparing CPPC, RAID-6, 2DP with SuDoku");
 
   CacheParams c;
@@ -61,8 +67,14 @@ int main(int argc, char** argv) {
   mcfg.max_intervals = 300 * args.scale;
   mcfg.seed = args.seed_or(7);
 
+  std::optional<exp::CheckpointStore> store;
+  if (args.checkpointing()) store.emplace(args.checkpoint_dir, args.resume);
+  exp::ShardRunReport report;
+
   exp::ExpOptions opts;
   opts.threads = args.threads;
+  opts.checkpoint = store ? &*store : nullptr;
+  opts.report = &report;
   exp::RunStats total_stats;
   obs::MetricsRegistry total_metrics;
   exp::JsonArray mc_rows;
@@ -73,8 +85,13 @@ int main(int argc, char** argv) {
 
   const auto run_scheme = [&](const std::string& name,
                               const exp::SchemeFactory& factory) {
+    // The BaselineMcConfig is identical for every scheme; the per-scheme
+    // checkpoint scope is what keeps their shard payloads apart.
+    exp::ExpOptions scheme_opts = opts;
+    scheme_opts.checkpoint_scope = "table11." + name;
     exp::RunStats stats;
-    const auto r = exp::run_baseline_mc_parallel(factory, mcfg, opts, &stats);
+    const auto r = exp::run_baseline_mc_parallel(factory, mcfg, scheme_opts, &stats);
+    bench::exit_if_interrupted(args);
     total_stats += stats;
     total_metrics += r.metrics;
     std::printf("  %-24s failure intervals: %llu/%llu\n", name.c_str(),
@@ -110,8 +127,11 @@ int main(int argc, char** argv) {
     zc.level = SudokuLevel::kZ;
     zc.max_intervals = mcfg.max_intervals;
     zc.seed = mcfg.seed;
+    exp::ExpOptions z_opts = opts;
+    z_opts.checkpoint_scope = "table11.SuDoku-Z";
     exp::RunStats stats;
-    const auto r = exp::run_montecarlo_parallel(zc, opts, &stats);
+    const auto r = exp::run_montecarlo_parallel(zc, z_opts, &stats);
+    bench::exit_if_interrupted(args);
     total_stats += stats;
     total_metrics += r.metrics;
     std::printf("  %-24s failure intervals: %llu/%llu\n", "SuDoku-Z",
@@ -135,16 +155,24 @@ int main(int argc, char** argv) {
   result.set("analytical_fit", fit_rows).set("montecarlo", mc_rows);
 
   const exp::ResultSink sink(args.out_dir);
-  const auto path =
-      sink.write("table11_baselines", config, result, total_stats, &total_metrics);
+  const auto path = sink.write("table11_baselines", config, result, total_stats,
+                               &total_metrics, &report);
   std::printf("\n  %llu trials in %.2f s (%s trials/s, %u threads) -> %s\n",
               static_cast<unsigned long long>(total_stats.trials),
               total_stats.wall_seconds,
               bench::sci(total_stats.trials_per_second()).c_str(),
               total_stats.threads, path.string().c_str());
+  if (store || report.degraded()) {
+    std::printf("  fault tolerance: %llu/%llu shards resumed, %llu retries, "
+                "%llu quarantined\n",
+                static_cast<unsigned long long>(report.shards_resumed),
+                static_cast<unsigned long long>(report.shards_total),
+                static_cast<unsigned long long>(report.shards_retried),
+                static_cast<unsigned long long>(report.shards_quarantined));
+  }
   if (args.json) {
     const auto root = exp::ResultSink::make_root("table11_baselines", config, result,
-                                                 total_stats, &total_metrics);
+                                                 total_stats, &total_metrics, &report);
     std::printf("%s\n", root.str(/*pretty=*/true).c_str());
   }
   return 0;

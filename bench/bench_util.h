@@ -1,15 +1,19 @@
 // Small shared helpers for the table/figure reproduction binaries: aligned
 // row printing, scientific formatting that matches the paper's tables, and
-// the shared --threads/--seed/--json command line handled by every
-// engine-backed bench (JSON emission itself lives in exp/json.h).
+// the shared command line handled by every engine-backed bench (JSON
+// emission itself lives in exp/json.h; fault tolerance in exp/checkpoint.h
+// and exp/shutdown.h, documented in docs/robustness.md).
 #pragma once
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <string>
 
 #include "exp/json.h"
+#include "exp/shutdown.h"
 
 namespace sudoku::bench {
 
@@ -41,54 +45,136 @@ inline std::string fixed(double v, int digits) {
 }
 
 // Shared command line for the engine-backed benches:
-//   --threads=N   pool width (0 = one per hardware thread)
-//   --seed=S      base seed (0 = keep the bench's built-in default)
-//   --json        also dump the artifact JSON to stdout
-//   --out=DIR     artifact directory (default bench/out)
-//   --scale=K     multiply trial budgets by K (bare "K" also accepted,
-//                 matching the benches' legacy positional argument)
+//   --threads=N       pool width (0 = one per hardware thread)
+//   --seed=S          base seed (0 = keep the bench's built-in default)
+//   --json            also dump the artifact JSON to stdout
+//   --out=DIR         artifact directory (default bench/out)
+//   --scale=K         multiply trial budgets by K (bare "K" also accepted,
+//                     matching the benches' legacy positional argument)
+//   --checkpoint=DIR  persist each finished shard under DIR (atomic
+//                     writes); a SIGINT/SIGTERM'd run exits with code 75
+//                     and can be continued with --resume
+//   --resume          replay finished shards from --checkpoint=DIR and
+//                     recompute only the rest (byte-identical artifacts)
+//   --help            print usage and exit 0
+//
+// Malformed values ("--seed=abc", overflow) and unknown flags print the
+// usage message and exit 2 instead of escaping as uncaught exceptions.
 struct BenchArgs {
   std::uint64_t scale = 1;
   unsigned threads = 0;
   std::uint64_t seed = 0;
   bool json = false;
   std::string out_dir = "bench/out";
+  std::string checkpoint_dir;  // empty = checkpointing off
+  bool resume = false;
 
   // Returns config.seed unless --seed overrode it.
   std::uint64_t seed_or(std::uint64_t fallback) const {
     return seed ? seed : fallback;
   }
 
+  bool checkpointing() const { return !checkpoint_dir.empty(); }
+
+  static void print_usage(const char* prog, std::FILE* to) {
+    std::fprintf(to,
+                 "usage: %s [--threads=N] [--seed=S] [--json] [--out=DIR]\n"
+                 "       [--scale=K | K] [--checkpoint=DIR [--resume]] [--help]\n"
+                 "\n"
+                 "  --threads=N       worker pool width (0 = one per hardware thread)\n"
+                 "  --seed=S          base seed override (0 keeps the bench default)\n"
+                 "  --json            dump the artifact JSON to stdout too\n"
+                 "  --out=DIR         artifact directory (default bench/out)\n"
+                 "  --scale=K         multiply trial budgets by K\n"
+                 "  --checkpoint=DIR  persist finished shards; interrupt exits 75 (resumable)\n"
+                 "  --resume          replay finished shards from --checkpoint=DIR\n"
+                 "  --help            this message\n",
+                 prog);
+  }
+
   static BenchArgs parse(int argc, char** argv) {
     BenchArgs args;
+    const char* prog = argc > 0 ? argv[0] : "bench";
+    const auto usage_error = [&prog](const std::string& msg) {
+      std::fprintf(stderr, "%s: %s\n", prog, msg.c_str());
+      print_usage(prog, stderr);
+      std::exit(2);
+    };
+    // Full-string unsigned parse: rejects empty, signs, junk, overflow —
+    // std::stoull would throw (or worse, accept "12abc") instead.
+    const auto parse_u64 = [&usage_error](const std::string& flag,
+                                          const std::string& text) {
+      if (text.empty() ||
+          text.find_first_not_of("0123456789") != std::string::npos) {
+        usage_error("invalid value for " + flag + ": '" + text + "'");
+      }
+      errno = 0;
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+      if (errno == ERANGE || end != text.c_str() + text.size()) {
+        usage_error("value out of range for " + flag + ": '" + text + "'");
+      }
+      return static_cast<std::uint64_t>(v);
+    };
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
       const auto value_of = [&arg](const std::string& prefix) {
         return arg.substr(prefix.size());
       };
       if (arg.rfind("--threads=", 0) == 0) {
-        args.threads = static_cast<unsigned>(std::stoul(value_of("--threads=")));
+        const std::uint64_t v = parse_u64("--threads", value_of("--threads="));
+        if (v > std::numeric_limits<unsigned>::max()) {
+          usage_error("value out of range for --threads: '" + arg + "'");
+        }
+        args.threads = static_cast<unsigned>(v);
       } else if (arg.rfind("--seed=", 0) == 0) {
-        args.seed = std::stoull(value_of("--seed="));
+        args.seed = parse_u64("--seed", value_of("--seed="));
       } else if (arg.rfind("--scale=", 0) == 0) {
-        args.scale = std::stoull(value_of("--scale="));
+        args.scale = parse_u64("--scale", value_of("--scale="));
       } else if (arg.rfind("--out=", 0) == 0) {
         args.out_dir = value_of("--out=");
+      } else if (arg.rfind("--checkpoint=", 0) == 0) {
+        args.checkpoint_dir = value_of("--checkpoint=");
+        if (args.checkpoint_dir.empty()) {
+          usage_error("--checkpoint needs a directory");
+        }
+      } else if (arg == "--resume") {
+        args.resume = true;
       } else if (arg == "--json") {
         args.json = true;
+      } else if (arg == "--help" || arg == "-h") {
+        print_usage(prog, stdout);
+        std::exit(0);
       } else if (!arg.empty() && arg.find_first_not_of("0123456789") == std::string::npos) {
-        args.scale = std::stoull(arg);  // legacy positional scale
+        args.scale = parse_u64("scale", arg);  // legacy positional scale
       } else {
-        std::fprintf(stderr,
-                     "unknown argument '%s'\n"
-                     "usage: %s [--threads=N] [--seed=S] [--json] [--out=DIR] "
-                     "[--scale=K | K]\n",
-                     arg.c_str(), argv[0]);
-        std::exit(2);
+        usage_error("unknown argument '" + arg + "'");
       }
+    }
+    if (args.resume && !args.checkpointing()) {
+      usage_error("--resume requires --checkpoint=DIR");
     }
     return args;
   }
 };
+
+// Call after every engine invocation: when a SIGINT/SIGTERM arrived, the
+// run's remaining shards were skipped, so the final artifact must not be
+// written — announce how to continue and exit with the "interrupted,
+// resumable" code instead (75; see docs/robustness.md).
+inline void exit_if_interrupted(const BenchArgs& args) {
+  if (!sudoku::exp::shutdown_requested()) return;
+  if (args.checkpointing()) {
+    std::fprintf(stderr,
+                 "\ninterrupted: finished shards are checkpointed under '%s'; "
+                 "rerun with --checkpoint=%s --resume to continue\n",
+                 args.checkpoint_dir.c_str(), args.checkpoint_dir.c_str());
+  } else {
+    std::fprintf(stderr,
+                 "\ninterrupted: no artifact written (rerun with "
+                 "--checkpoint=DIR to make runs resumable)\n");
+  }
+  std::exit(sudoku::exp::kExitInterrupted);
+}
 
 }  // namespace sudoku::bench

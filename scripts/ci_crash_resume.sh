@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Crash-resume end-to-end check (docs/robustness.md), run in CI against the
+# Release build:
+#
+#   1. uninterrupted reference run of bench_montecarlo_validation
+#   2. checkpointed run, SIGTERM'd mid-flight -> must exit 75 ("interrupted,
+#      resumable") with finished shards persisted (or 0 if it won the race)
+#   3. --resume run -> must exit 0 and replay the checkpointed shards
+#   4. the resumed artifact must equal the reference byte-for-byte outside
+#      the wall-clock "throughput" section
+#
+# Usage: scripts/ci_crash_resume.sh <path-to-bench_montecarlo_validation>
+set -euo pipefail
+
+BENCH=${1:?usage: $0 <path-to-bench_montecarlo_validation>}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== reference run (no checkpoint)"
+"$BENCH" --threads=4 --out="$WORK/ref" >/dev/null
+
+echo "== checkpointed run, SIGTERM mid-flight"
+"$BENCH" --threads=4 --out="$WORK/victim" --checkpoint="$WORK/ckpt" >/dev/null &
+PID=$!
+sleep 0.4
+kill -TERM "$PID" 2>/dev/null || true
+set +e
+wait "$PID"
+STATUS=$?
+set -e
+echo "   interrupted run exited $STATUS"
+if [[ $STATUS -ne 75 && $STATUS -ne 0 ]]; then
+  echo "FAIL: expected exit 75 (interrupted, resumable) or 0 (finished first), got $STATUS"
+  exit 1
+fi
+
+SAVED=$(find "$WORK/ckpt" -name 'shard-*.json' | wc -l)
+echo "   $SAVED shard checkpoint(s) persisted"
+
+echo "== resume"
+"$BENCH" --threads=4 --out="$WORK/resumed" --checkpoint="$WORK/ckpt" --resume \
+  | grep -E "fault tolerance" || true
+
+echo "== compare artifacts (throughput section carries wall-clock and is ignored)"
+python3 - "$WORK/ref/montecarlo_validation.json" \
+          "$WORK/resumed/montecarlo_validation.json" <<'EOF'
+import json, sys
+a = json.load(open(sys.argv[1]))
+b = json.load(open(sys.argv[2]))
+a.pop("throughput", None)
+b.pop("throughput", None)
+sa, sb = (json.dumps(x, sort_keys=True) for x in (a, b))
+if sa != sb:
+    sys.exit("FAIL: resumed artifact differs from uninterrupted reference")
+print("   artifacts identical outside throughput")
+EOF
+
+echo "PASS: crash-resume produced a byte-identical artifact"

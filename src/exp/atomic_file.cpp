@@ -1,0 +1,86 @@
+#include "exp/atomic_file.h"
+
+#include <cstdio>
+#include <stdexcept>
+#include <system_error>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SUDOKU_ATOMIC_FILE_POSIX 1
+#include <fcntl.h>
+#include <unistd.h>
+#else
+#include <fstream>
+#endif
+
+namespace sudoku::exp {
+
+namespace {
+
+[[noreturn]] void raise(const std::filesystem::path& path, const std::string& what) {
+  throw std::runtime_error("atomic_write_file: " + what + " '" + path.string() + "'");
+}
+
+}  // namespace
+
+void atomic_write_file(const std::filesystem::path& path,
+                       const std::string& contents, FileDurability durability) {
+  const std::filesystem::path tmp = path.string() + ".tmp";
+
+#if SUDOKU_ATOMIC_FILE_POSIX
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) raise(tmp, "cannot create temporary");
+  std::size_t written = 0;
+  while (written < contents.size()) {
+    const ssize_t n =
+        ::write(fd, contents.data() + written, contents.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      raise(tmp, "write failed for");
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  const bool flushed = durability == FileDurability::kFull ? ::fsync(fd) == 0 : true;
+  if (!flushed || ::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    raise(tmp, "flush failed for");
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    raise(path, "rename failed for");
+  }
+  // Persist the rename itself; a failure here (e.g. network fs) leaves the
+  // file published but possibly not durable — not worth failing the run.
+  if (durability == FileDurability::kFull) {
+    const int dirfd = ::open(path.parent_path().empty()
+                                 ? "."
+                                 : path.parent_path().c_str(),
+                             O_RDONLY | O_DIRECTORY);
+    if (dirfd >= 0) {
+      ::fsync(dirfd);
+      ::close(dirfd);
+    }
+  }
+#else
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out << contents;
+    out.flush();
+    if (!out) {
+      std::error_code ignored;
+      std::filesystem::remove(tmp, ignored);
+      raise(tmp, "write failed for");
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    raise(path, "rename failed for");
+  }
+#endif
+}
+
+}  // namespace sudoku::exp

@@ -1,0 +1,32 @@
+// Crash-safe file publication: write to "<path>.tmp" in the same
+// directory, then rename over the target. A reader (including a resumed
+// run after a crash or SIGKILL) therefore sees either the previous
+// complete file or the new complete file — never a truncated one. Used by
+// ResultSink artifacts and checkpoint shards.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+namespace sudoku::exp {
+
+enum class FileDurability {
+  // fsync the data before the rename and the directory after: the
+  // publication survives power loss. Two fsyncs per file — right for
+  // final artifacts, too slow for per-shard checkpoints.
+  kFull,
+  // Atomic against process crashes (rename only, no fsync). After power
+  // loss the file may be empty or torn; callers must treat unreadable
+  // content as "absent" (checkpoint decode already does — a torn shard
+  // is recomputed, so the weaker mode costs correctness nothing).
+  kProcessCrashOnly,
+};
+
+// Throws std::runtime_error (with the path in the message) when the
+// temporary cannot be created/written or the rename fails. The POSIX path
+// honours `durability`; the portable fallback is always process-crash-only.
+void atomic_write_file(const std::filesystem::path& path,
+                       const std::string& contents,
+                       FileDurability durability = FileDurability::kFull);
+
+}  // namespace sudoku::exp

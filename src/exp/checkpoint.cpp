@@ -1,0 +1,82 @@
+#include "exp/checkpoint.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <system_error>
+
+#include "exp/atomic_file.h"
+
+namespace sudoku::exp {
+
+std::uint64_t fnv1a64(std::string_view bytes, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+namespace {
+
+std::string sanitize(const std::string& tag) {
+  std::string out = tag.empty() ? std::string("experiment") : tag;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+std::string CheckpointKey::subdir() const {
+  return sanitize(experiment) + "/" + hex16(config_hash) + "-s" +
+         std::to_string(base_seed);
+}
+
+CheckpointStore::CheckpointStore(std::filesystem::path root, bool resume)
+    : root_(std::move(root)), resume_(resume) {}
+
+std::filesystem::path CheckpointStore::shard_path(const CheckpointKey& key,
+                                                  std::uint64_t shard_index) const {
+  return root_ / key.subdir() /
+         ("shard-" + std::to_string(shard_index) + ".json");
+}
+
+std::optional<std::string> CheckpointStore::load(const CheckpointKey& key,
+                                                 std::uint64_t shard_index) const {
+  if (!resume_) return std::nullopt;
+  std::ifstream in(shard_path(key, shard_index), std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (!in.good() && !in.eof()) return std::nullopt;
+  return std::move(ss).str();
+}
+
+void CheckpointStore::save(const CheckpointKey& key, std::uint64_t shard_index,
+                           const std::string& payload) const {
+  const std::filesystem::path path = shard_path(key, shard_index);
+  std::error_code ec;
+  std::filesystem::create_directories(path.parent_path(), ec);
+  if (ec) {
+    throw std::runtime_error("CheckpointStore: cannot create '" +
+                             path.parent_path().string() + "': " + ec.message());
+  }
+  // Process-crash durability is enough here: a power-loss-torn payload
+  // fails decode and is recomputed, while two fsyncs per shard would
+  // dominate short shards' runtime.
+  atomic_write_file(path, payload, FileDurability::kProcessCrashOnly);
+}
+
+}  // namespace sudoku::exp

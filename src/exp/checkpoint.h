@@ -1,0 +1,69 @@
+// Shard-granular checkpoint/resume for the experiment engine.
+//
+// Every completed shard's serialized result is published atomically
+// (temp-file + fsync + rename, see atomic_file.h) under
+//
+//   <root>/<experiment>/<config-hash hex>-s<base-seed>/shard-<index>.json
+//
+// The key directory embeds everything that determines a shard's bytes: the
+// experiment tag, a 64-bit FNV-1a hash over the full run configuration
+// (including the resolved shard plan), and the base seed. A restarted run
+// with the same key replays finished shards from disk and recomputes only
+// the rest; any config change hashes to a different directory, so stale
+// checkpoints are simply never seen — invalidation is structural, not
+// bookkeeping. Because the engine's merge is shard-index-deterministic,
+// replayed and recomputed shards merge to byte-identical final artifacts.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sudoku::exp {
+
+// 64-bit FNV-1a; stable across hosts, used for config hashing.
+std::uint64_t fnv1a64(std::string_view bytes, std::uint64_t seed = 0xcbf29ce484222325ull);
+
+struct CheckpointKey {
+  std::string experiment;        // bench/case tag; sanitized into a path
+  std::uint64_t config_hash = 0; // over config + shard plan (see above)
+  std::uint64_t base_seed = 0;
+
+  // "<sanitized experiment>/<16-hex hash>-s<seed>"
+  std::string subdir() const;
+};
+
+class CheckpointStore {
+ public:
+  // `resume` controls loads only: a store opened without it still persists
+  // shards (so a later --resume can pick them up) but never replays —
+  // the cold-start behaviour --checkpoint alone promises.
+  explicit CheckpointStore(std::filesystem::path root, bool resume = false);
+
+  const std::filesystem::path& root() const { return root_; }
+  bool resume() const { return resume_; }
+
+  std::filesystem::path shard_path(const CheckpointKey& key,
+                                   std::uint64_t shard_index) const;
+
+  // Returns the payload of a previously saved shard, or std::nullopt when
+  // resume is off, the file is absent, or it cannot be read. Never throws:
+  // an unreadable checkpoint means "recompute", not "fail".
+  std::optional<std::string> load(const CheckpointKey& key,
+                                  std::uint64_t shard_index) const;
+
+  // Atomically persist one shard's payload. Throws std::runtime_error when
+  // the directory cannot be created or the write fails (callers downgrade
+  // this to a ShardErrorKind::kCheckpointIo record — losing resumability
+  // must not lose the run).
+  void save(const CheckpointKey& key, std::uint64_t shard_index,
+            const std::string& payload) const;
+
+ private:
+  std::filesystem::path root_;
+  bool resume_ = false;
+};
+
+}  // namespace sudoku::exp

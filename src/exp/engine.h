@@ -1,51 +1,217 @@
 // The sharded experiment runner: fans a shard plan out over the thread
-// pool and merges results deterministically.
+// pool and merges results deterministically — now with shard-granular
+// checkpoint/resume, trial quarantine, and cooperative shutdown.
 //
 // Contract. `run(shard, early)` must return the shard's result computed
 // purely from the shard's trial range and the experiment's base seed (per-
 // trial seed streams), or std::nullopt if it abandoned the shard because
-// `early.triggered()` fired. Results must support `operator+=` and expose
-// a `failure_intervals` member. The merge walks shards in index order and
-// stops once `target_failures` is met, so the merged result depends only
-// on (plan, base seed, target) — not on thread count, scheduling, or which
-// shards were speculatively cancelled.
+// `early.triggered()` fired (or a shutdown was requested). Results must
+// support `operator+=` and expose a `failure_intervals` member. The merge
+// walks shards in index order and stops once `target_failures` is met, so
+// the merged result depends only on (plan, base seed, target) — not on
+// thread count, scheduling, which shards were speculatively cancelled, or
+// whether some shards were replayed from a checkpoint.
+//
+// Fault-tolerance semantics (run_sharded with RunShardedOptions):
+//   * checkpoint  — completed shards are persisted via atomic writes; with
+//     a resume-enabled store, previously finished shards are replayed from
+//     disk before anything is scheduled. Replayed bytes equal recomputed
+//     bytes (round-trip-exact codec), so resumed artifacts are
+//     byte-identical by construction.
+//   * quarantine  — a shard body that throws is retried (same seeds) up to
+//     max_attempts total tries, then excluded from the merge; the run
+//     degrades instead of dying and the report says exactly what is gone.
+//   * shutdown    — once exp::shutdown_requested() turns true, unstarted
+//     shards are skipped, in-flight shards finish or abandon through their
+//     stop hooks, and the report is marked interrupted so callers can exit
+//     with kExitInterrupted ("resumable") instead of failing.
 #pragma once
 
 #include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "exp/checkpoint.h"
+#include "exp/errors.h"
 #include "exp/sharder.h"
+#include "exp/shutdown.h"
 #include "exp/thread_pool.h"
 
 namespace sudoku::exp {
 
+template <typename Result>
+struct RunShardedOptions {
+  std::uint64_t target_failures = 0;
+
+  // Checkpointing (all three required together; null store disables it).
+  CheckpointStore* checkpoint = nullptr;
+  CheckpointKey key{};
+  std::function<std::string(const Result&)> encode;
+  std::function<std::optional<Result>(const std::string&)> decode;
+
+  // Quarantine policy. When off, a throwing shard propagates out of
+  // run_sharded (via the pool's first-exception rethrow) — the documented
+  // fallback. When on, each shard gets max_attempts tries before being
+  // excluded from the merge.
+  bool quarantine = false;
+  unsigned max_attempts = 3;
+
+  ShardRunReport* report = nullptr;
+
+  // Fired after each *live* (not replayed) shard completes and is
+  // recorded; used for progress and by tests to kill runs at exact points.
+  std::function<void(const Shard&)> after_shard;
+};
+
+namespace detail {
+
+enum class ShardState : unsigned char { kPending, kDone, kQuarantined };
+
+}  // namespace detail
+
 template <typename Result, typename RunFn>
 Result run_sharded(ThreadPool& pool, const std::vector<Shard>& shards,
-                   std::uint64_t target_failures, RunFn&& run) {
-  EarlyStop early(shards.size(), target_failures);
+                   const RunShardedOptions<Result>& opt, RunFn&& run) {
+  using detail::ShardState;
+  EarlyStop early(shards.size(), opt.target_failures);
   std::vector<std::optional<Result>> outcomes(shards.size());
+  std::vector<ShardState> states(shards.size(), ShardState::kPending);
+  std::mutex report_mutex;  // guards opt.report's members during the run
+
+  const auto note_error = [&](std::uint64_t index, ShardErrorKind kind,
+                              unsigned attempt, std::string detail_msg) {
+    if (!opt.report) return;
+    std::lock_guard<std::mutex> lock(report_mutex);
+    opt.report->errors.push_back({index, kind, attempt, std::move(detail_msg)});
+  };
+
+  // Resume pass: replay finished shards from the checkpoint before any
+  // scheduling. Serial and in index order, so EarlyStop's prefix logic
+  // sees them exactly as a live run would have.
+  std::vector<char> replayed(shards.size(), 0);
+  if (opt.checkpoint && opt.decode) {
+    for (const Shard& s : shards) {
+      auto payload = opt.checkpoint->load(opt.key, s.index);
+      if (!payload) continue;
+      std::optional<Result> r = opt.decode(*payload);
+      if (!r.has_value()) {
+        note_error(s.index, ShardErrorKind::kCheckpointCorrupt, 0,
+                   opt.checkpoint->shard_path(opt.key, s.index).string());
+        continue;  // recompute below
+      }
+      early.record(s.index, r->failure_intervals);
+      outcomes[s.index] = std::move(r);
+      states[s.index] = ShardState::kDone;
+      replayed[s.index] = 1;
+      if (opt.report) {
+        std::lock_guard<std::mutex> lock(report_mutex);
+        ++opt.report->shards_resumed;
+      }
+    }
+  }
 
   pool.parallel_for(shards.size(), [&](std::uint64_t k) {
+    if (replayed[k]) return;
     // Once the completed prefix meets the target this shard is beyond the
-    // merge cutoff — skip it entirely.
-    if (early.triggered()) return;
-    std::optional<Result> r = run(shards[k], early);
-    if (r.has_value()) {
-      early.record(k, r->failure_intervals);
-      outcomes[k] = std::move(r);
+    // merge cutoff — skip it entirely. A requested shutdown likewise stops
+    // new shards from starting (in-flight ones abandon via stop hooks).
+    if (early.triggered() || shutdown_requested()) return;
+    const unsigned max_attempts = opt.quarantine ? std::max(opt.max_attempts, 1u) : 1;
+    for (unsigned attempt = 1;; ++attempt) {
+      try {
+        std::optional<Result> r = run(shards[k], early);
+        if (r.has_value()) {
+          if (opt.checkpoint && opt.encode) {
+            try {
+              opt.checkpoint->save(opt.key, shards[k].index, opt.encode(*r));
+            } catch (const std::exception& e) {
+              // Losing resumability must not lose the run.
+              note_error(shards[k].index, ShardErrorKind::kCheckpointIo, attempt,
+                         e.what());
+            }
+          }
+          early.record(k, r->failure_intervals);
+          outcomes[k] = std::move(r);
+          states[k] = ShardState::kDone;
+          if (opt.after_shard) opt.after_shard(shards[k]);
+        }
+        return;
+      } catch (...) {
+        if (!opt.quarantine) throw;  // fallback: pool rethrows to the caller
+        std::string what = "unknown exception";
+        ShardErrorKind kind = ShardErrorKind::kUnknownException;
+        try {
+          throw;
+        } catch (const std::exception& e) {
+          what = e.what();
+          kind = ShardErrorKind::kTrialException;
+        } catch (...) {
+        }
+        note_error(shards[k].index, kind, attempt, std::move(what));
+        if (attempt >= max_attempts) {
+          states[k] = ShardState::kQuarantined;
+          if (opt.report) {
+            std::lock_guard<std::mutex> lock(report_mutex);
+            ++opt.report->shards_quarantined;
+            opt.report->trials_quarantined += shards[k].count;
+          }
+          return;
+        }
+        // Retry with the same seeds on whatever worker picks it up next —
+        // per-trial seed streams make a clean retry bit-identical.
+        if (opt.report) {
+          std::lock_guard<std::mutex> lock(report_mutex);
+          ++opt.report->shards_retried;
+        }
+      }
     }
   });
 
   Result merged{};
   std::uint64_t failures = 0;
-  for (const auto& outcome : outcomes) {
-    if (!outcome.has_value()) break;  // cutoff always precedes skipped shards
-    merged += *outcome;
-    failures += outcome->failure_intervals;
-    if (target_failures != 0 && failures >= target_failures) break;
+  bool target_met = false;
+  bool hit_missing = false;
+  for (std::uint64_t k = 0; k < shards.size(); ++k) {
+    // Quarantined shards are excluded from the merge (degraded result);
+    // the walk continues so everything that did complete still counts.
+    if (states[k] == ShardState::kQuarantined) continue;
+    if (!outcomes[k].has_value()) {
+      hit_missing = true;  // cutoff or interrupted — never a completed shard
+      break;
+    }
+    merged += *outcomes[k];
+    failures += outcomes[k]->failure_intervals;
+    if (opt.target_failures != 0 && failures >= opt.target_failures) {
+      target_met = true;
+      break;
+    }
+  }
+
+  if (opt.report) {
+    std::lock_guard<std::mutex> lock(report_mutex);
+    opt.report->shards_total += shards.size();
+    // Interrupted = the merge stopped at a hole the shutdown left behind.
+    // (When early-stop caused the hole, the target was met first, because
+    // triggered() requires the contiguous completed prefix to meet it.)
+    if (hit_missing && !target_met && shutdown_requested()) {
+      opt.report->interrupted = true;
+    }
   }
   return merged;
+}
+
+// Plain entry point: deterministic shard merge with early stop, no
+// checkpointing, no quarantine (a throwing shard propagates).
+template <typename Result, typename RunFn>
+Result run_sharded(ThreadPool& pool, const std::vector<Shard>& shards,
+                   std::uint64_t target_failures, RunFn&& run) {
+  RunShardedOptions<Result> opt;
+  opt.target_failures = target_failures;
+  return run_sharded<Result>(pool, shards, opt, std::forward<RunFn>(run));
 }
 
 }  // namespace sudoku::exp

@@ -1,0 +1,39 @@
+#include "exp/errors.h"
+
+namespace sudoku::exp {
+
+const char* to_string(ShardErrorKind kind) {
+  switch (kind) {
+    case ShardErrorKind::kTrialException: return "trial_exception";
+    case ShardErrorKind::kUnknownException: return "unknown_exception";
+    case ShardErrorKind::kCheckpointCorrupt: return "checkpoint_corrupt";
+    case ShardErrorKind::kCheckpointIo: return "checkpoint_io";
+  }
+  return "unknown";
+}
+
+JsonObject ShardError::to_json() const {
+  JsonObject o;
+  o.set("shard", shard_index)
+      .set("kind", to_string(kind))
+      .set("attempt", attempt)
+      .set("detail", detail);
+  return o;
+}
+
+obs::MetricsRegistry ShardRunReport::to_metrics() const {
+  obs::MetricsRegistry reg;
+  reg.counter("exp.shards_resumed")->inc(shards_resumed);
+  reg.counter("exp.shards_retried")->inc(shards_retried);
+  reg.counter("exp.shards_quarantined")->inc(shards_quarantined);
+  reg.counter("exp.trials_quarantined")->inc(trials_quarantined);
+  return reg;
+}
+
+JsonArray ShardRunReport::errors_json() const {
+  JsonArray arr;
+  for (const auto& e : errors) arr.push(e.to_json());
+  return arr;
+}
+
+}  // namespace sudoku::exp

@@ -1,0 +1,61 @@
+// Structured error taxonomy for the fault-tolerant experiment engine.
+//
+// A shard that throws no longer takes the whole campaign down: the engine
+// records a ShardError, retries the shard with the same seeds (per-trial
+// seed streams make the retry bit-identical when the failure was
+// environmental), and finally quarantines it — excludes it from the
+// deterministic merge and flags the run "degraded" so the artifact says
+// exactly what is missing. The ShardRunReport aggregates everything a
+// caller needs to decide between "complete", "degraded" and "interrupted,
+// resumable" (see docs/robustness.md for the exit-code contract).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/json.h"
+#include "obs/metrics.h"
+
+namespace sudoku::exp {
+
+enum class ShardErrorKind {
+  kTrialException,    // shard body threw a std::exception
+  kUnknownException,  // shard body threw something else
+  kCheckpointCorrupt, // checkpoint payload unreadable/undecodable (recomputed)
+  kCheckpointIo,      // completed shard could not be persisted (run continues)
+};
+
+const char* to_string(ShardErrorKind kind);
+
+struct ShardError {
+  std::uint64_t shard_index = 0;
+  ShardErrorKind kind = ShardErrorKind::kTrialException;
+  unsigned attempt = 0;  // 1-based attempt that produced this error
+  std::string detail;    // e.what(), decode diagnostic, or path
+
+  JsonObject to_json() const;
+};
+
+// Aggregated fault-tolerance accounting for one engine invocation (or a
+// bench's whole sequence of invocations — callers may reuse one report).
+struct ShardRunReport {
+  std::uint64_t shards_total = 0;        // shards in the executed plans
+  std::uint64_t shards_resumed = 0;      // replayed from checkpoint
+  std::uint64_t shards_retried = 0;      // retry attempts after a throw
+  std::uint64_t shards_quarantined = 0;  // excluded from the merge
+  std::uint64_t trials_quarantined = 0;  // trials those shards covered
+  bool interrupted = false;              // shutdown cut the run short
+  std::vector<ShardError> errors;
+
+  bool degraded() const { return shards_quarantined > 0; }
+
+  // exp.* counter surface for obs consumers. Kept out of artifact-embedded
+  // registries on purpose: a resumed run must produce a byte-identical
+  // artifact, and "how we got there" telemetry would break that.
+  obs::MetricsRegistry to_metrics() const;
+
+  JsonArray errors_json() const;
+};
+
+}  // namespace sudoku::exp

@@ -2,15 +2,26 @@
 // budget, run each shard with per-trial seed streams on the work-stealing
 // pool, and merge deterministically. Merged counts are bit-identical for
 // any thread count (see docs/exp_engine.md for the exact contract).
+//
+// Fault tolerance (docs/robustness.md): pass a CheckpointStore to persist
+// every finished shard and replay them on resume; pass a ShardRunReport to
+// get quarantine/retry/interrupt accounting. Both harnesses always run
+// with quarantine on — a throwing trial degrades the campaign instead of
+// terminating it.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
+#include <string>
 
 #include "baselines/mc_runner.h"
 #include "baselines/scheme.h"
+#include "exp/checkpoint.h"
+#include "exp/errors.h"
 #include "exp/result_sink.h"
+#include "exp/sharder.h"
 #include "reliability/montecarlo.h"
 
 namespace sudoku::exp {
@@ -18,6 +29,22 @@ namespace sudoku::exp {
 struct ExpOptions {
   unsigned threads = 0;     // pool width; 0 = one per hardware thread
   std::uint64_t chunk = 0;  // trials per shard; 0 = default_chunk(total)
+
+  // ---- fault tolerance ----
+  // Checkpoint store (nullable). The checkpoint key is derived inside the
+  // adapter from (checkpoint_scope, full config, resolved shard plan,
+  // seed), so any config change cold-starts automatically.
+  CheckpointStore* checkpoint = nullptr;
+  // Disambiguates runs whose configs would hash identically (e.g. the same
+  // BaselineMcConfig driven through different schemes). Also names the
+  // checkpoint subdirectory.
+  std::string checkpoint_scope;
+  // Tries per shard before quarantine (minimum 1).
+  unsigned max_attempts = 3;
+  // Accumulates resume/retry/quarantine/interrupt accounting across calls.
+  ShardRunReport* report = nullptr;
+  // Progress/test hook: fired after each live shard completes.
+  std::function<void(const Shard&)> after_shard;
 };
 
 // Parallel reliability::run_montecarlo. config.seed / max_intervals /
@@ -33,5 +60,17 @@ using SchemeFactory = std::function<std::unique_ptr<baselines::CacheScheme>()>;
 baselines::BaselineMcResult run_baseline_mc_parallel(
     const SchemeFactory& factory, const baselines::BaselineMcConfig& config,
     const ExpOptions& options = {}, RunStats* stats = nullptr);
+
+// ---- checkpoint payload codecs ----------------------------------------
+// Round-trip-exact JSON (de)serialization of shard results, including the
+// embedded metrics registry: decode(encode(r)) reproduces r bit for bit,
+// which is what makes resumed merges byte-identical to uninterrupted ones.
+// decode returns std::nullopt on any malformed payload (torn file, schema
+// drift) — the engine then recomputes the shard.
+std::string encode_mc_result(const reliability::McResult& r);
+std::optional<reliability::McResult> decode_mc_result(const std::string& payload);
+std::string encode_baseline_mc_result(const baselines::BaselineMcResult& r);
+std::optional<baselines::BaselineMcResult> decode_baseline_mc_result(
+    const std::string& payload);
 
 }  // namespace sudoku::exp

@@ -46,4 +46,64 @@ JsonObject metrics_to_json(const obs::MetricsRegistry& registry) {
   return out;
 }
 
+std::optional<obs::MetricsRegistry> metrics_from_json(const JsonValue& value) {
+  if (!value.is_object()) return std::nullopt;
+  obs::MetricsRegistry reg;
+  for (const auto& [name, v] : value.members) {
+    if (v.is_number()) {  // counter
+      const auto n = v.as_u64();
+      if (!n) return std::nullopt;
+      reg.counter(name)->inc(*n);
+      continue;
+    }
+    if (!v.is_object()) return std::nullopt;
+    if (const JsonValue* g = v.find("gauge")) {
+      const auto val = g->as_double();
+      const JsonValue* s = v.find("samples");
+      const auto samples = s ? s->as_u64() : std::optional<std::uint64_t>{};
+      if (!val || !samples) return std::nullopt;
+      reg.gauge(name)->restore(*val, *samples);
+      continue;
+    }
+    const JsonValue* edges_v = v.find("edges");
+    const JsonValue* buckets_v = v.find("buckets");
+    const JsonValue* count_v = v.find("count");
+    const JsonValue* sum_v = v.find("sum");
+    if (!edges_v || !buckets_v || !count_v || !sum_v ||
+        !edges_v->is_array() || !buckets_v->is_array()) {
+      return std::nullopt;
+    }
+    std::vector<double> edges;
+    for (const auto& e : edges_v->items) {
+      const auto d = e.as_double();
+      if (!d) return std::nullopt;
+      edges.push_back(*d);
+    }
+    std::vector<std::uint64_t> buckets;
+    for (const auto& b : buckets_v->items) {
+      const auto n = b.as_u64();
+      if (!n) return std::nullopt;
+      buckets.push_back(*n);
+    }
+    const auto count = count_v->as_u64();
+    const auto sum = sum_v->as_double();
+    if (!count || !sum) return std::nullopt;
+    double min = 0.0, max = 0.0;
+    if (*count > 0) {  // min/max are present exactly when count > 0
+      const JsonValue* min_v = v.find("min");
+      const JsonValue* max_v = v.find("max");
+      const auto mn = min_v ? min_v->as_double() : std::optional<double>{};
+      const auto mx = max_v ? max_v->as_double() : std::optional<double>{};
+      if (!mn || !mx) return std::nullopt;
+      min = *mn;
+      max = *mx;
+    }
+    auto restored = obs::Histogram::restore(std::move(edges), std::move(buckets),
+                                            *count, *sum, min, max);
+    if (!restored) return std::nullopt;
+    *reg.histogram(name, restored->edges()) = *restored;
+  }
+  return reg;
+}
+
 }  // namespace sudoku::exp

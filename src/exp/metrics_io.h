@@ -13,7 +13,10 @@
 //   }
 #pragma once
 
+#include <optional>
+
 #include "exp/json.h"
+#include "exp/json_parse.h"
 #include "obs/metrics.h"
 
 namespace sudoku::exp {
@@ -21,5 +24,14 @@ namespace sudoku::exp {
 // Render every metric in `registry`, sorted by name. An empty registry
 // renders as {}.
 JsonObject metrics_to_json(const obs::MetricsRegistry& registry);
+
+// Inverse of metrics_to_json over a parsed "metrics" object: a plain
+// number is a counter, {"gauge","samples"} a gauge, {"edges","buckets",..}
+// a histogram. Exact — the emitter's round-trip-safe numbers reparse to
+// identical bits, so a restored registry merges byte-identically with live
+// ones (the checkpoint/resume contract). Returns std::nullopt on any
+// malformed member instead of throwing: an undecodable snapshot means the
+// shard is recomputed.
+std::optional<obs::MetricsRegistry> metrics_from_json(const JsonValue& value);
 
 }  // namespace sudoku::exp

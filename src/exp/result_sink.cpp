@@ -1,9 +1,9 @@
 #include "exp/result_sink.h"
 
-#include <fstream>
 #include <stdexcept>
 #include <system_error>
 
+#include "exp/atomic_file.h"
 #include "exp/metrics_io.h"
 
 namespace sudoku::exp {
@@ -20,7 +20,8 @@ JsonObject RunStats::to_json() const {
 
 JsonObject ResultSink::make_root(const std::string& name, const JsonObject& config,
                                  const JsonObject& result, const RunStats& stats,
-                                 const obs::MetricsRegistry* metrics) {
+                                 const obs::MetricsRegistry* metrics,
+                                 const ShardRunReport* report) {
   JsonObject root;
   root.set("experiment", name)
       .set("config", config)
@@ -29,6 +30,11 @@ JsonObject ResultSink::make_root(const std::string& name, const JsonObject& conf
   if (metrics != nullptr) {
     root.set("metrics", metrics_to_json(*metrics));
   }
+  // Only a degraded run changes the artifact shape — complete runs stay
+  // byte-identical whether or not fault tolerance was active.
+  if (report != nullptr && report->degraded()) {
+    root.set("degraded", true).set("shard_errors", report->errors_json());
+  }
   return root;
 }
 
@@ -36,8 +42,9 @@ std::filesystem::path ResultSink::write(const std::string& name,
                                         const JsonObject& config,
                                         const JsonObject& result,
                                         const RunStats& stats,
-                                        const obs::MetricsRegistry* metrics) const {
-  return write_raw(name, make_root(name, config, result, stats, metrics));
+                                        const obs::MetricsRegistry* metrics,
+                                        const ShardRunReport* report) const {
+  return write_raw(name, make_root(name, config, result, stats, metrics, report));
 }
 
 std::filesystem::path ResultSink::write_raw(const std::string& name,
@@ -49,12 +56,11 @@ std::filesystem::path ResultSink::write_raw(const std::string& name,
                              out_dir_.string() + "': " + ec.message());
   }
   const std::filesystem::path path = out_dir_ / (name + ".json");
-  std::ofstream out(path);
-  out << root.str(/*pretty=*/true) << '\n';
-  out.flush();
-  if (!out) {
+  try {
+    atomic_write_file(path, root.str(/*pretty=*/true) + '\n');
+  } catch (const std::exception& e) {
     throw std::runtime_error("ResultSink: failed to write artifact '" +
-                             path.string() + "'");
+                             path.string() + "': " + e.what());
   }
   return path;
 }

@@ -7,6 +7,7 @@
 #include <filesystem>
 #include <string>
 
+#include "exp/errors.h"
 #include "exp/json.h"
 #include "obs/metrics.h"
 
@@ -45,15 +46,21 @@ class ResultSink {
   // "throughput"[, "metrics"]} and returns the path. Creates the directory
   // as needed. When `metrics` is non-null its snapshot is embedded as the
   // artifact's "metrics" section (present even when empty, so consumers
-  // can rely on the key). Throws std::runtime_error when the directory
-  // cannot be created or the file cannot be written — artifacts are the
-  // experiment's whole point, so losing one silently is not an option.
+  // can rely on the key). When `report` is non-null and degraded (shards
+  // quarantined), the artifact additionally carries "degraded": true and
+  // the structured "shard_errors" records — clean runs stay byte-for-byte
+  // unchanged. The file is published atomically (temp + fsync + rename,
+  // exp/atomic_file.h), so a crash mid-write never leaves a half-written
+  // JSON. Throws std::runtime_error when the directory cannot be created
+  // or the file cannot be written — artifacts are the experiment's whole
+  // point, so losing one silently is not an option.
   std::filesystem::path write(const std::string& name, const JsonObject& config,
                               const JsonObject& result, const RunStats& stats,
-                              const obs::MetricsRegistry* metrics = nullptr) const;
+                              const obs::MetricsRegistry* metrics = nullptr,
+                              const ShardRunReport* report = nullptr) const;
 
   // Escape hatch for artifacts that don't fit the config/result shape.
-  // Same error contract as write().
+  // Same error and atomicity contract as write().
   std::filesystem::path write_raw(const std::string& name,
                                   const JsonObject& root) const;
 
@@ -61,7 +68,8 @@ class ResultSink {
   // persists; benches reuse it for --json stdout dumps).
   static JsonObject make_root(const std::string& name, const JsonObject& config,
                               const JsonObject& result, const RunStats& stats,
-                              const obs::MetricsRegistry* metrics = nullptr);
+                              const obs::MetricsRegistry* metrics = nullptr,
+                              const ShardRunReport* report = nullptr);
 
  private:
   std::filesystem::path out_dir_;

@@ -1,0 +1,32 @@
+#include "exp/shutdown.h"
+
+#include <atomic>
+#include <csignal>
+
+namespace sudoku::exp {
+
+namespace {
+
+// Lock-free atomic<bool> is async-signal-safe to store to.
+std::atomic<bool> g_shutdown{false};
+
+}  // namespace
+
+extern "C" {
+static void sudoku_exp_signal_handler(int) {
+  sudoku::exp::g_shutdown.store(true);
+}
+}
+
+void install_signal_handlers() {
+  std::signal(SIGINT, sudoku_exp_signal_handler);
+  std::signal(SIGTERM, sudoku_exp_signal_handler);
+}
+
+bool shutdown_requested() { return g_shutdown.load(std::memory_order_relaxed); }
+
+void request_shutdown() { g_shutdown.store(true); }
+
+void reset_shutdown() { g_shutdown.store(false); }
+
+}  // namespace sudoku::exp

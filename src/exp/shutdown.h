@@ -1,0 +1,31 @@
+// Cooperative clean shutdown for long experiment campaigns. SIGINT and
+// SIGTERM flip a process-wide flag; the engine polls it between shards
+// (and in-flight shards poll it per interval through their stop hooks), so
+// a signal means: finish or abandon the current shards, flush checkpoints,
+// and exit with kExitInterrupted — distinct from success (0) and from a
+// real failure (non-zero, non-75) so wrappers and CI can tell
+// "interrupted, resumable" apart from "broken".
+#pragma once
+
+namespace sudoku::exp {
+
+// sysexits.h EX_TEMPFAIL: "temporary failure, retrying is reasonable" —
+// exactly the semantics of an interrupted, checkpointed campaign.
+inline constexpr int kExitInterrupted = 75;
+
+// Install SIGINT/SIGTERM handlers that call request_shutdown(). Idempotent;
+// safe to call from every bench main().
+void install_signal_handlers();
+
+// True once a shutdown was requested (by signal or programmatically).
+bool shutdown_requested();
+
+// What the signal handler does; exposed so tests and embedders can trigger
+// a clean shutdown without raising a real signal.
+void request_shutdown();
+
+// Clear the flag (tests that simulate multiple kill/resume cycles in one
+// process).
+void reset_shutdown();
+
+}  // namespace sudoku::exp

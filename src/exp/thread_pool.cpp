@@ -90,7 +90,15 @@ void ThreadPool::worker_loop(unsigned index) {
     if (try_pop_local(index, task) || try_pop_injector(task) ||
         try_steal(index, task)) {
       pending_.fetch_sub(1, std::memory_order_acq_rel);
-      task();
+      // Task boundary: a throwing task must never escape into the worker
+      // loop (that would std::terminate the process). parallel_for bodies
+      // install their own handler; this is the backstop for bare submit().
+      try {
+        task();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
       task = nullptr;
       finish_task();
       continue;
@@ -111,6 +119,12 @@ void ThreadPool::wait_idle() {
   idle_cv_.wait(lock, [this] {
     return in_flight_.load(std::memory_order_acquire) == 0;
   });
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> err_lock(error_mutex_);
+    std::swap(err, first_error_);
+  }
+  if (err) std::rethrow_exception(err);
 }
 
 void ThreadPool::parallel_for(std::uint64_t n,
@@ -119,9 +133,15 @@ void ThreadPool::parallel_for(std::uint64_t n,
   std::atomic<std::uint64_t> remaining{n};
   std::mutex done_mutex;
   std::condition_variable done_cv;
+  std::exception_ptr first_error;
   for (std::uint64_t i = 0; i < n; ++i) {
     submit([&, i] {
-      fn(i);
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
       if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         std::lock_guard<std::mutex> lock(done_mutex);
         done_cv.notify_all();
@@ -132,6 +152,9 @@ void ThreadPool::parallel_for(std::uint64_t n,
   done_cv.wait(lock, [&] {
     return remaining.load(std::memory_order_acquire) == 0;
   });
+  // Every index has run; surface the first failure (completion order) to
+  // the caller now that joining is done.
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace sudoku::exp

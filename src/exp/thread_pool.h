@@ -13,6 +13,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -34,14 +35,24 @@ class ThreadPool {
 
   // Enqueue a task. From a worker thread it lands on that worker's own
   // deque (LIFO end); from any other thread it goes to the injector.
+  //
+  // Exceptions are caught at the task boundary (a throwing task can never
+  // std::terminate the pool): the first one is stashed and rethrown from
+  // the next wait_idle() call.
   void submit(Task task);
 
   // Block until every task submitted so far has finished executing. Must
-  // not be called from inside a pool task.
+  // not be called from inside a pool task. Rethrows the first exception
+  // any submit()ed task threw since the last wait_idle().
   void wait_idle();
 
   // Run fn(0..n-1), each index as one pool task, and block until all have
   // finished. Must not be called from inside a pool task.
+  //
+  // A throwing fn(i) does not tear anything down: every other index still
+  // runs to completion, and the first exception (in completion order) is
+  // rethrown to the caller after the join. Callers wanting finer-grained
+  // policy (retry, quarantine) catch inside fn — see exp/engine.h.
   void parallel_for(std::uint64_t n, const std::function<void(std::uint64_t)>& fn);
 
   unsigned size() const { return static_cast<unsigned>(workers_.size()); }
@@ -75,6 +86,9 @@ class ThreadPool {
 
   std::mutex idle_mutex_;
   std::condition_variable idle_cv_;
+
+  std::mutex error_mutex_;           // guards first_error_
+  std::exception_ptr first_error_;   // from submit()ed tasks; see wait_idle()
 };
 
 }  // namespace sudoku::exp

@@ -61,6 +61,24 @@ Histogram& Histogram::operator+=(const Histogram& o) {
   return *this;
 }
 
+std::optional<Histogram> Histogram::restore(std::vector<double> edges,
+                                            std::vector<std::uint64_t> buckets,
+                                            std::uint64_t count, double sum,
+                                            double min, double max) {
+  const bool strictly_ascending =
+      std::adjacent_find(edges.begin(), edges.end(),
+                         [](double a, double b) { return a >= b; }) == edges.end();
+  if (edges.empty() || !strictly_ascending) return std::nullopt;
+  if (buckets.size() != edges.size() + 1) return std::nullopt;
+  Histogram h(std::move(edges));
+  h.buckets_ = std::move(buckets);
+  h.count_ = count;
+  h.sum_ = sum;
+  h.min_ = min;
+  h.max_ = max;
+  return h;
+}
+
 Counter* MetricsRegistry::counter(const std::string& name) {
   if (gauges_.count(name) || histograms_.count(name)) die("kind collision", name);
   return &counters_[name];

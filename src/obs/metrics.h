@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -50,6 +51,13 @@ class Gauge {
   }
   double value() const { return value_; }
   std::uint64_t samples() const { return samples_; }
+
+  // Rebuild a gauge from a persisted snapshot (checkpoint resume). Exact:
+  // the merge semantics above depend only on (value, samples).
+  void restore(double value, std::uint64_t samples) {
+    value_ = value;
+    samples_ = samples;
+  }
 
   Gauge& operator+=(const Gauge& o) {
     if (o.samples_ > 0) value_ = o.value_;
@@ -88,6 +96,17 @@ class Histogram {
   // Merge requires identical edges (same metric definition); mismatching
   // shapes are a programming error and abort loudly.
   Histogram& operator+=(const Histogram& o);
+
+  // Rebuild a histogram from a persisted snapshot (checkpoint resume).
+  // Unlike the constructor this *validates* instead of aborting — a
+  // corrupt checkpoint must degrade to "recompute", not kill the process —
+  // returning std::nullopt on bad edges or a bucket-count mismatch.
+  // min/max are meaningful only when count > 0 (snapshots omit them
+  // otherwise; pass 0).
+  static std::optional<Histogram> restore(std::vector<double> edges,
+                                          std::vector<std::uint64_t> buckets,
+                                          std::uint64_t count, double sum,
+                                          double min, double max);
 
  private:
   std::vector<double> edges_;

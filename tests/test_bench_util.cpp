@@ -6,8 +6,10 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <initializer_list>
 #include <limits>
 #include <sstream>
+#include <vector>
 
 #include "bench_util.h"
 #include "exp/json.h"
@@ -118,6 +120,77 @@ TEST(BenchArgs, SeedOverrideWinsOverFallback) {
   const char* argv[] = {"bench", "--seed=5"};
   const auto args = bench::BenchArgs::parse(2, const_cast<char**>(argv));
   EXPECT_EQ(args.seed_or(99), 5u);
+}
+
+TEST(BenchArgs, ParsesCheckpointAndResume) {
+  const char* argv[] = {"bench", "--checkpoint=/tmp/ck", "--resume"};
+  const auto args = bench::BenchArgs::parse(3, const_cast<char**>(argv));
+  EXPECT_TRUE(args.checkpointing());
+  EXPECT_EQ(args.checkpoint_dir, "/tmp/ck");
+  EXPECT_TRUE(args.resume);
+}
+
+TEST(BenchArgs, CheckpointingOffByDefault) {
+  const char* argv[] = {"bench"};
+  const auto args = bench::BenchArgs::parse(1, const_cast<char**>(argv));
+  EXPECT_FALSE(args.checkpointing());
+  EXPECT_FALSE(args.resume);
+}
+
+// Malformed/unknown input must exit 2 with a usage message — never escape
+// as an uncaught std::invalid_argument/std::out_of_range.
+using BenchArgsDeath = ::testing::Test;
+
+int parse_and_return(std::initializer_list<const char*> argv_list) {
+  std::vector<const char*> argv(argv_list);
+  bench::BenchArgs::parse(static_cast<int>(argv.size()),
+                          const_cast<char**>(argv.data()));
+  return 0;  // only reached when parse() did not exit
+}
+
+TEST(BenchArgsDeath, NonNumericSeedExitsTwo) {
+  EXPECT_EXIT(parse_and_return({"bench", "--seed=abc"}),
+              ::testing::ExitedWithCode(2), "invalid value for --seed");
+}
+
+TEST(BenchArgsDeath, OverflowSeedExitsTwo) {
+  EXPECT_EXIT(parse_and_return({"bench", "--seed=99999999999999999999999"}),
+              ::testing::ExitedWithCode(2), "out of range for --seed");
+}
+
+TEST(BenchArgsDeath, NegativeScaleExitsTwo) {
+  EXPECT_EXIT(parse_and_return({"bench", "--scale=-3"}),
+              ::testing::ExitedWithCode(2), "invalid value for --scale");
+}
+
+TEST(BenchArgsDeath, ThreadsBeyondUnsignedExitsTwo) {
+  EXPECT_EXIT(parse_and_return({"bench", "--threads=4294967296"}),
+              ::testing::ExitedWithCode(2), "out of range for --threads");
+}
+
+TEST(BenchArgsDeath, TrailingJunkExitsTwo) {
+  EXPECT_EXIT(parse_and_return({"bench", "--seed=12abc"}),
+              ::testing::ExitedWithCode(2), "invalid value for --seed");
+}
+
+TEST(BenchArgsDeath, UnknownFlagExitsTwo) {
+  EXPECT_EXIT(parse_and_return({"bench", "--bogus"}),
+              ::testing::ExitedWithCode(2), "unknown argument");
+}
+
+TEST(BenchArgsDeath, ResumeWithoutCheckpointExitsTwo) {
+  EXPECT_EXIT(parse_and_return({"bench", "--resume"}),
+              ::testing::ExitedWithCode(2), "--resume requires --checkpoint");
+}
+
+TEST(BenchArgsDeath, EmptyCheckpointDirExitsTwo) {
+  EXPECT_EXIT(parse_and_return({"bench", "--checkpoint="}),
+              ::testing::ExitedWithCode(2), "--checkpoint needs a directory");
+}
+
+TEST(BenchArgsDeath, HelpExitsZeroWithUsage) {
+  EXPECT_EXIT(parse_and_return({"bench", "--help"}),
+              ::testing::ExitedWithCode(0), "");
 }
 
 }  // namespace

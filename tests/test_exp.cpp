@@ -146,6 +146,50 @@ TEST(ThreadPool, NestedSubmitFromWorker) {
   EXPECT_EQ(count.load(), 10);
 }
 
+// ---- thread pool exception propagation --------------------------------
+
+TEST(ThreadPool, ParallelForPropagatesWorkerExceptionAfterJoin) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  // A throwing body must surface as an exception on the calling thread —
+  // not std::terminate — and must not wedge the pool.
+  EXPECT_THROW(
+      pool.parallel_for(64,
+                        [&](std::uint64_t i) {
+                          ran.fetch_add(1);
+                          if (i == 13) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  EXPECT_GT(ran.load(), 0);
+  // The pool stays usable after the failed call.
+  std::atomic<int> after{0};
+  pool.parallel_for(32, [&](std::uint64_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 32);
+}
+
+TEST(ThreadPool, ParallelForReportsFirstOfManyExceptions) {
+  ThreadPool pool(8);
+  try {
+    pool.parallel_for(100, [&](std::uint64_t i) {
+      throw std::runtime_error("task " + std::to_string(i));
+    });
+    FAIL() << "parallel_for must rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("task "), std::string::npos);
+  }
+}
+
+TEST(ThreadPool, BareSubmitErrorSurfacesAtWaitIdle) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::logic_error("stray"); });
+  EXPECT_THROW(pool.wait_idle(), std::logic_error);
+  // The stored error is consumed: the next quiescent wait is clean.
+  std::atomic<int> count{0};
+  pool.submit([&] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1);
+}
+
 // ---- engine determinism ----------------------------------------------
 
 TEST(ExpEngine, McResultIdenticalAcrossThreadCounts) {
@@ -260,6 +304,95 @@ TEST(ExpEngine, RunShardedMergesInShardOrderWithCutoff) {
   const auto cut = run_sharded<ToyResult>(pool, shards, 3, run);
   EXPECT_EQ(cut.failure_intervals, 3u);
   EXPECT_EQ(cut.sum, 29u * 30u / 2);
+}
+
+TEST(ExpEngine, LegacyOverloadPropagatesShardExceptions) {
+  const auto shards = make_shards(40, 10);
+  ThreadPool pool(4);
+  // Without a quarantine policy the engine must not swallow the error.
+  EXPECT_THROW(run_sharded<ToyResult>(
+                   pool, shards, 0,
+                   [](const Shard& s, const EarlyStop&) -> std::optional<ToyResult> {
+                     if (s.index == 2) throw std::runtime_error("shard blew up");
+                     return ToyResult{};
+                   }),
+               std::runtime_error);
+}
+
+TEST(ExpEngine, QuarantineExcludesPersistentlyThrowingShard) {
+  const auto shards = make_shards(100, 10);
+  ThreadPool pool(4);
+  ShardRunReport report;
+  RunShardedOptions<ToyResult> opt;
+  opt.quarantine = true;
+  opt.max_attempts = 3;
+  opt.report = &report;
+  std::atomic<int> attempts_on_bad{0};
+  const auto merged = run_sharded<ToyResult>(
+      pool, shards, opt,
+      [&](const Shard& s, const EarlyStop&) -> std::optional<ToyResult> {
+        if (s.index == 4) {
+          attempts_on_bad.fetch_add(1);
+          throw std::runtime_error("deterministic failure");
+        }
+        ToyResult r;
+        r.sum = s.count;
+        return r;
+      });
+  EXPECT_EQ(attempts_on_bad.load(), 3);  // retried to max_attempts
+  EXPECT_EQ(merged.sum, 90u);            // 9 healthy shards of 10 trials
+  EXPECT_TRUE(report.degraded());
+  EXPECT_EQ(report.shards_total, 10u);
+  EXPECT_EQ(report.shards_quarantined, 1u);
+  EXPECT_EQ(report.trials_quarantined, 10u);
+  EXPECT_EQ(report.shards_retried, 2u);  // attempts 2 and 3 were retries
+  ASSERT_EQ(report.errors.size(), 3u);
+  for (const auto& e : report.errors) {
+    EXPECT_EQ(e.shard_index, 4u);
+    EXPECT_EQ(e.kind, ShardErrorKind::kTrialException);
+    EXPECT_NE(e.detail.find("deterministic failure"), std::string::npos);
+  }
+  EXPECT_FALSE(report.interrupted);
+}
+
+TEST(ExpEngine, TransientThrowRecoversViaRetryWithoutDegrading) {
+  const auto shards = make_shards(60, 10);
+  ThreadPool pool(4);
+  ShardRunReport report;
+  RunShardedOptions<ToyResult> opt;
+  opt.quarantine = true;
+  opt.max_attempts = 3;
+  opt.report = &report;
+  std::atomic<int> failures_left{2};  // shard 1 fails twice, then succeeds
+  const auto merged = run_sharded<ToyResult>(
+      pool, shards, opt,
+      [&](const Shard& s, const EarlyStop&) -> std::optional<ToyResult> {
+        if (s.index == 1 && failures_left.fetch_sub(1) > 0) {
+          throw std::runtime_error("transient");
+        }
+        ToyResult r;
+        r.sum = s.count;
+        return r;
+      });
+  EXPECT_EQ(merged.sum, 60u);  // nothing lost
+  EXPECT_FALSE(report.degraded());
+  EXPECT_EQ(report.shards_retried, 2u);
+  EXPECT_EQ(report.shards_quarantined, 0u);
+  EXPECT_EQ(report.errors.size(), 2u);
+}
+
+TEST(ExpEngine, QuarantineReportMetricsSurface) {
+  ShardRunReport report;
+  report.shards_total = 8;
+  report.shards_resumed = 3;
+  report.shards_retried = 2;
+  report.shards_quarantined = 1;
+  report.trials_quarantined = 64;
+  const auto reg = report.to_metrics();
+  const std::string json = metrics_to_json(reg).str();
+  EXPECT_NE(json.find("\"exp.shards_resumed\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"exp.shards_retried\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"exp.trials_quarantined\":64"), std::string::npos);
 }
 
 // ---- result sink error paths -----------------------------------------
