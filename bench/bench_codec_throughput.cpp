@@ -76,7 +76,8 @@ void print_row(const Row& r) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto args = sudoku::bench::BenchArgs::parse(argc, argv);
+  const auto args = sudoku::bench::BenchArgs::parse(
+      argc, argv, sudoku::bench::single_threaded_options());
   const std::uint64_t base_iters = 2000 * args.scale;
   Rng rng(args.seed_or(17));
 

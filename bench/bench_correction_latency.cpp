@@ -2,12 +2,17 @@
 //  1. The paper's hardware latency model: RAID-4 correction reads all 512
 //     lines of a group at 9 ns ⇒ ~4.6-16 µs; SuDoku-Y ~20 µs; SuDoku-Z up
 //     to ~80 µs; each incurred so rarely the performance cost is <0.01%.
+//     This part is deterministic and is what the artifact records.
 //  2. google-benchmark measurements of our *functional* implementations
 //     (host-CPU time, not STTRAM time — useful for simulator budgeting).
+//     Opt-in via --gbench: timings are machine-dependent, so they stay out
+//     of the artifact and out of the golden-diff loop.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 
+#include "bench_util.h"
 #include "common/rng.h"
 #include "sudoku/controller.h"
 
@@ -103,18 +108,56 @@ BENCHMARK(BM_SkewedHashRepair);
 }  // namespace
 
 int main(int argc, char** argv) {
+  auto opts = bench::analytical_options();
+  opts.extra_flags = {"--gbench"};
+  const auto args = bench::BenchArgs::parse(argc, argv, opts);
+
+  const auto t0 = std::chrono::steady_clock::now();
   std::printf("=== §VII-B hardware latency model ===\n");
   const double read_ns = 9.0;
+  const double raid4_us = 512 * read_ns / 1000.0;
+  const double bandwidth_pct = 100.0 * 4 * 512 * read_ns / 20e6;
   std::printf("  RAID-4 repair: 512 line reads x %.0f ns = %.1f us (paper: <=16 us)\n",
-              read_ns, 512 * read_ns / 1000.0);
+              read_ns, raid4_us);
   std::printf("  expected rate: ~4 multi-bit lines / 20 ms -> %.2f%% bandwidth\n",
-              100.0 * 4 * 512 * read_ns / 20e6);
+              bandwidth_pct);
   std::printf("  SuDoku-Y repair (group scan + SDR trials): ~20 us, every ~3.7 s\n");
   std::printf("  SuDoku-Z repair (up to 2 groups x 2 hashes): ~80 us, every ~3.9 h\n");
-  std::printf("  worst-case demand-read impact: <0.08%% (paper §III-D)\n\n");
-  std::printf("=== functional implementation timings (host CPU) ===\n");
+  std::printf("  worst-case demand-read impact: <0.08%% (paper §III-D)\n");
 
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  exp::JsonArray comparison;
+  comparison.push(bench::paper_row("RAID-4 repair latency (us)", 16.0, raid4_us));
+  comparison.push(bench::paper_row("worst-case demand-read impact (%)", 0.08,
+                                   bandwidth_pct));
+
+  exp::JsonObject config;
+  config.set("read_latency_ns", read_ns)
+      .set("group_size", 512)
+      .set("scrub_interval_ms", 20);
+  exp::JsonObject result;
+  result.set("raid4_repair_us", raid4_us)
+      .set("sudoku_y_repair_us", 20.0)
+      .set("sudoku_z_repair_us", 80.0)
+      .set("scrub_bandwidth_pct", bandwidth_pct)
+      .set("paper_comparison", comparison);
+
+  exp::RunStats stats;
+  stats.trials = 1;
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  stats.threads = 1;
+  stats.shards = 1;
+  bench::emit_artifact(args, "correction_latency", config, result, stats);
+
+  if (args.has_extra("--gbench")) {
+    std::printf("\n=== functional implementation timings (host CPU) ===\n");
+    int bench_argc = 1;
+    benchmark::Initialize(&bench_argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  } else {
+    std::printf("\n  (pass --gbench for host-CPU microbenchmarks of the functional\n"
+                "   repair paths; timings are machine-dependent and never recorded\n"
+                "   in the artifact)\n");
+  }
   return 0;
 }

@@ -71,7 +71,8 @@ CaseResult run_case(int overlap, int trials, std::uint64_t base_seed,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto args = bench::BenchArgs::parse(argc, argv);
+  const auto args =
+      bench::BenchArgs::parse(argc, argv, bench::single_threaded_options());
   bench::print_header("Figure 3: SDR scenarios for two 2-fault lines in one RAID-Group");
 
   const double B = 553.0;

@@ -2,6 +2,7 @@
 // SuDoku-X, SuDoku-Y, SuDoku-Z and ECC-6. Prints each scheme's MTTF and
 // the failure-probability series P(t) = 1 - exp(-t/MTTF) at the figure's
 // decade points.
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 
@@ -11,9 +12,11 @@
 using namespace sudoku;
 using namespace sudoku::reliability;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv, bench::analytical_options());
   bench::print_header("Figure 7: Cache failure probability vs time (DUE+SDC)");
 
+  const auto t0 = std::chrono::steady_clock::now();
   CacheParams c;
   struct Row {
     const char* name;
@@ -31,6 +34,7 @@ int main() {
       {"SuDoku-Z (mechanistic)", sudoku_total(c, 'Z').mttf_hours(), "8.25e12 h"},
   };
 
+  exp::JsonArray scheme_rows;
   std::printf("\n  %-24s %16s %22s\n", "Scheme", "MTTF (ours)", "paper");
   for (const auto& r : rows) {
     std::printf("  %-24s %13s h  %22s\n", r.name, bench::sci(r.mttf_h).c_str(), r.paper);
@@ -44,11 +48,21 @@ int main() {
   std::printf("\n");
   for (const auto& r : rows) {
     std::printf("  %-24s", r.name);
+    exp::JsonArray series;
     for (const double t : times_h) {
       const double p = -std::expm1(-t / r.mttf_h);
       std::printf(" %10s", bench::sci(p).c_str());
+      exp::JsonObject point;
+      point.set("t_hours", t).set("p_fail", p);
+      series.push(point);
     }
     std::printf("\n");
+    exp::JsonObject row;
+    row.set("scheme", r.name)
+        .set("mttf_hours", r.mttf_h)
+        .set("paper", r.paper)
+        .set("series", series);
+    scheme_rows.push(row);
   }
 
   const double ratio =
@@ -58,5 +72,30 @@ int main() {
   const double ratio_mech = ecc_k(c, 6).fit() / sudoku_z_due(c).fit();
   std::printf("  SuDoku-Z (mechanistic, what our controller implements): %sx\n",
               bench::sci(ratio_mech).c_str());
+
+  exp::JsonArray comparison;
+  comparison.push(
+      bench::paper_row("SuDoku-X MTTF (s)", 3.71, rows[0].mttf_h * 3600.0));
+  comparison.push(
+      bench::paper_row("SuDoku-Y MTTF (h)", "3.49-3.9", rows[2].mttf_h));
+  comparison.push(
+      bench::paper_row("SuDoku-Z MTTF (h)", 8.25e12, rows[4].mttf_h));
+  comparison.push(bench::paper_row("Z (strict) vs ECC-6 ratio", 874.0, ratio));
+
+  exp::JsonObject config;
+  config.set("ber", c.ber).set("num_lines", c.num_lines).set("group_size", c.group_size);
+  exp::JsonObject result;
+  result.set("schemes", scheme_rows)
+      .set("z_strict_vs_ecc6_ratio", ratio)
+      .set("z_mechanistic_vs_ecc6_ratio", ratio_mech)
+      .set("paper_comparison", comparison);
+
+  exp::RunStats stats;
+  stats.trials = 6;
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  stats.threads = 1;
+  stats.shards = 1;
+  bench::emit_artifact(args, "fig7_mttf", config, result, stats);
   return 0;
 }

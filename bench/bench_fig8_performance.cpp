@@ -36,7 +36,8 @@ double run_pair(const std::vector<std::string>& benchmarks, std::uint64_t instr,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto args = bench::BenchArgs::parse(argc, argv);
+  const auto args =
+      bench::BenchArgs::parse(argc, argv, bench::single_threaded_options());
   const std::uint64_t instr = 400'000 * args.scale;
   const std::uint64_t seed = args.seed_or(1);
 

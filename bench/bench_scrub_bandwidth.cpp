@@ -16,7 +16,8 @@
 using namespace sudoku;
 
 int main(int argc, char** argv) {
-  const auto args = bench::BenchArgs::parse(argc, argv);
+  const auto args =
+      bench::BenchArgs::parse(argc, argv, bench::single_threaded_options());
   bench::print_header("Scrub bandwidth (§VII-E): sweep cost vs interval and size");
   std::printf("\n  %-10s %-10s %14s\n", "cache", "interval", "bank bandwidth");
   exp::JsonArray bw_rows;

@@ -1,6 +1,7 @@
 // Reproduces Table II: per-line failure probability, cache failure
 // probability per 20 ms, and FIT rate of a 64 MB cache protected with
 // ECC-1 .. ECC-6 at BER 5.3e-6.
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 
@@ -10,7 +11,8 @@
 using namespace sudoku;
 using namespace sudoku::reliability;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv, bench::analytical_options());
   bench::print_header(
       "Table II: FIT Rate of 64MB Cache for various ECC, BER 5.3e-6 / 20ms");
 
@@ -19,6 +21,9 @@ int main() {
   const double paper_cache[] = {9.8e-1, 4e-3, 3.1e-6, 2e-9, 1.1e-12, 5.1e-16};
   const char* paper_fit[] = {">1e14", "7.2e11", "5.5e8", "3.5e5", "191", "0.092"};
 
+  const auto t0 = std::chrono::steady_clock::now();
+  exp::JsonArray rows;
+  exp::JsonArray comparison;
   std::printf("\n  %-8s %16s %12s %16s %12s %12s %10s\n", "ECC/line",
               "P(line-fail)", "paper", "P(cache-fail)", "paper", "FIT", "paper");
   for (int k = 1; k <= 6; ++k) {
@@ -29,7 +34,35 @@ int main() {
                 bench::sci(p_line).c_str(), bench::sci(paper_line[k - 1]).c_str(),
                 bench::sci(r.p_interval()).c_str(), bench::sci(paper_cache[k - 1]).c_str(),
                 bench::sci(r.fit()).c_str(), paper_fit[k - 1]);
+    exp::JsonObject row;
+    row.set("ecc_k", k)
+        .set("line_bits", bits)
+        .set("p_line_fail", p_line)
+        .set("p_cache_fail", r.p_interval())
+        .set("fit", r.fit());
+    rows.push(row);
+    const std::string label = "ECC-" + std::to_string(k);
+    comparison.push(
+        bench::paper_row(label + " P(line-fail)", paper_line[k - 1], p_line));
+    comparison.push(
+        bench::paper_row(label + " P(cache-fail)", paper_cache[k - 1], r.p_interval()));
+    comparison.push(bench::paper_row(label + " FIT", paper_fit[k - 1], r.fit()));
   }
   std::printf("\n  line width per ECC-k = 512 data + 10k check bits (BCH, m=10).\n");
+
+  exp::JsonObject config;
+  config.set("ber", c.ber)
+      .set("num_lines", c.num_lines)
+      .set("scrub_interval_s", c.scrub_interval_s);
+  exp::JsonObject result;
+  result.set("rows", rows).set("paper_comparison", comparison);
+
+  exp::RunStats stats;
+  stats.trials = 6;
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  stats.threads = 1;
+  stats.shards = 1;
+  bench::emit_artifact(args, "table2_ecc_fit", config, result, stats);
   return 0;
 }

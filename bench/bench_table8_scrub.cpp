@@ -22,7 +22,8 @@ using namespace sudoku;
 using namespace sudoku::reliability;
 
 int main(int argc, char** argv) {
-  const auto args = bench::BenchArgs::parse(argc, argv);
+  const auto args =
+      bench::BenchArgs::parse(argc, argv, bench::single_threaded_options());
   bench::print_header("Table VIII: FIT-Rate vs Scrub Intervals (default: 20ms)");
 
   struct Row {

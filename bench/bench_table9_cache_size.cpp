@@ -1,5 +1,6 @@
 // Reproduces Table IX: sensitivity of SuDoku's FIT rate to cache size
 // (32 / 64 / 128 MB). FIT scales linearly with the number of lines.
+#include <chrono>
 #include <cstdio>
 
 #include "bench_util.h"
@@ -8,10 +9,14 @@
 using namespace sudoku;
 using namespace sudoku::reliability;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv, bench::analytical_options());
   bench::print_header("Table IX: Sensitivity to Cache Size");
 
-  const char* paper[] = {"0.52e-4", "1.05e-4", "2.1e-4"};
+  const double paper[] = {0.52e-4, 1.05e-4, 2.1e-4};
+  const auto t0 = std::chrono::steady_clock::now();
+  exp::JsonArray rows;
+  exp::JsonArray comparison;
   std::printf("\n  %-10s %18s %18s %12s\n", "Cache", "FIT (strict)",
               "FIT (mechanistic)", "paper");
   int i = 0;
@@ -22,11 +27,35 @@ int main() {
     const double strict = sudoku_z_due(c, SdrModel::kStrict).fit();
     const double mech = sudoku_z_due(c).fit();
     std::printf("  %3lluMB %23s %18s %12s", static_cast<unsigned long long>(mb),
-                bench::sci(strict).c_str(), bench::sci(mech).c_str(), paper[i++]);
+                bench::sci(strict).c_str(), bench::sci(mech).c_str(),
+                bench::sci(paper[i]).c_str());
     if (prev_strict > 0) std::printf("   (x%.2f vs previous)", strict / prev_strict);
     std::printf("\n");
+    exp::JsonObject row;
+    row.set("cache_mb", mb)
+        .set("fit_strict", strict)
+        .set("fit_mechanistic", mech)
+        .set("ratio_vs_previous", prev_strict > 0 ? strict / prev_strict : 0.0);
+    rows.push(row);
+    comparison.push(bench::paper_row(
+        std::to_string(mb) + "MB FIT (strict)", paper[i], strict));
     prev_strict = strict;
+    ++i;
   }
   std::printf("\n  linear-in-size scaling reproduced (paper: 0.5x / 1x / 2x).\n");
+
+  exp::JsonObject config;
+  CacheParams base;
+  config.set("ber", base.ber).set("group_size", base.group_size);
+  exp::JsonObject result;
+  result.set("rows", rows).set("paper_comparison", comparison);
+
+  exp::RunStats stats;
+  stats.trials = 3;
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  stats.threads = 1;
+  stats.shards = 1;
+  bench::emit_artifact(args, "table9_cache_size", config, result, stats);
   return 0;
 }

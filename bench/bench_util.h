@@ -5,14 +5,17 @@
 // and exp/shutdown.h, documented in docs/robustness.md).
 #pragma once
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
 #include <string>
+#include <vector>
 
 #include "exp/json.h"
+#include "exp/result_sink.h"
 #include "exp/shutdown.h"
 
 namespace sudoku::bench {
@@ -44,7 +47,7 @@ inline std::string fixed(double v, int digits) {
   return buf;
 }
 
-// Shared command line for the engine-backed benches:
+// Shared command line for the artifact-emitting benches:
 //   --threads=N       pool width (0 = one per hardware thread)
 //   --seed=S          base seed (0 = keep the bench's built-in default)
 //   --json            also dump the artifact JSON to stdout
@@ -60,7 +63,25 @@ inline std::string fixed(double v, int digits) {
 //
 // Malformed values ("--seed=abc", overflow) and unknown flags print the
 // usage message and exit 2 instead of escaping as uncaught exceptions.
+//
+// Not every bench is engine-backed: a pure analytical bench has no worker
+// pool, no trial budget and nothing to checkpoint, so silently accepting
+// --threads there would let a typo'd invocation pretend it ran wider.
+// Each bench declares what it supports via Options; unsupported flags take
+// the same usage+exit-2 path as malformed ones, and the usage text lists
+// only the flags the bench actually honours.
 struct BenchArgs {
+  // What the bench's command line supports. Defaults describe the fully
+  // engine-backed benches; analytical ones turn the knobs off.
+  struct Options {
+    bool threads = true;     // accepts --threads (has a worker pool)
+    bool checkpoint = true;  // accepts --checkpoint/--resume (engine-backed)
+    bool scale = true;       // accepts --scale / positional K (trial budget)
+    // Bench-specific boolean flags, spelled with the leading "--"
+    // (e.g. "--gbench"). Parsed occurrences land in BenchArgs::extras.
+    std::vector<std::string> extra_flags;
+  };
+
   std::uint64_t scale = 1;
   unsigned threads = 0;
   std::uint64_t seed = 0;
@@ -68,6 +89,14 @@ struct BenchArgs {
   std::string out_dir = "bench/out";
   std::string checkpoint_dir;  // empty = checkpointing off
   bool resume = false;
+  std::vector<std::string> extras;  // matched Options::extra_flags
+
+  bool has_extra(const std::string& flag) const {
+    for (const auto& e : extras) {
+      if (e == flag) return true;
+    }
+    return false;
+  }
 
   // Returns config.seed unless --seed overrode it.
   std::uint64_t seed_or(std::uint64_t fallback) const {
@@ -77,27 +106,45 @@ struct BenchArgs {
   bool checkpointing() const { return !checkpoint_dir.empty(); }
 
   static void print_usage(const char* prog, std::FILE* to) {
+    print_usage(prog, to, Options());
+  }
+
+  static void print_usage(const char* prog, std::FILE* to, const Options& opts) {
+    std::string synopsis = std::string("usage: ") + prog + " [--seed=S] [--json] [--out=DIR]";
+    if (opts.threads) synopsis += " [--threads=N]";
+    if (opts.scale) synopsis += " [--scale=K | K]";
+    if (opts.checkpoint) synopsis += " [--checkpoint=DIR [--resume]]";
+    for (const auto& f : opts.extra_flags) synopsis += " [" + f + "]";
+    synopsis += " [--help]";
+    std::fprintf(to, "%s\n\n", synopsis.c_str());
+    if (opts.threads) {
+      std::fprintf(to, "  --threads=N       worker pool width (0 = one per hardware thread)\n");
+    }
     std::fprintf(to,
-                 "usage: %s [--threads=N] [--seed=S] [--json] [--out=DIR]\n"
-                 "       [--scale=K | K] [--checkpoint=DIR [--resume]] [--help]\n"
-                 "\n"
-                 "  --threads=N       worker pool width (0 = one per hardware thread)\n"
                  "  --seed=S          base seed override (0 keeps the bench default)\n"
                  "  --json            dump the artifact JSON to stdout too\n"
-                 "  --out=DIR         artifact directory (default bench/out)\n"
-                 "  --scale=K         multiply trial budgets by K\n"
-                 "  --checkpoint=DIR  persist finished shards; interrupt exits 75 (resumable)\n"
-                 "  --resume          replay finished shards from --checkpoint=DIR\n"
-                 "  --help            this message\n",
-                 prog);
+                 "  --out=DIR         artifact directory (default bench/out)\n");
+    if (opts.scale) {
+      std::fprintf(to, "  --scale=K         multiply trial budgets by K\n");
+    }
+    if (opts.checkpoint) {
+      std::fprintf(to,
+                   "  --checkpoint=DIR  persist finished shards; interrupt exits 75 (resumable)\n"
+                   "  --resume          replay finished shards from --checkpoint=DIR\n");
+    }
+    std::fprintf(to, "  --help            this message\n");
   }
 
   static BenchArgs parse(int argc, char** argv) {
+    return parse(argc, argv, Options());
+  }
+
+  static BenchArgs parse(int argc, char** argv, const Options& opts) {
     BenchArgs args;
     const char* prog = argc > 0 ? argv[0] : "bench";
-    const auto usage_error = [&prog](const std::string& msg) {
+    const auto usage_error = [&prog, &opts](const std::string& msg) {
       std::fprintf(stderr, "%s: %s\n", prog, msg.c_str());
-      print_usage(prog, stderr);
+      print_usage(prog, stderr, opts);
       std::exit(2);
     };
     // Full-string unsigned parse: rejects empty, signs, junk, overflow —
@@ -121,7 +168,14 @@ struct BenchArgs {
       const auto value_of = [&arg](const std::string& prefix) {
         return arg.substr(prefix.size());
       };
+      const auto reject_unsupported = [&usage_error](const std::string& flag,
+                                                     const char* why) {
+        usage_error(flag + " is not supported by this bench (" + why + ")");
+      };
       if (arg.rfind("--threads=", 0) == 0) {
+        if (!opts.threads) {
+          reject_unsupported("--threads", "analytical, no worker pool");
+        }
         const std::uint64_t v = parse_u64("--threads", value_of("--threads="));
         if (v > std::numeric_limits<unsigned>::max()) {
           usage_error("value out of range for --threads: '" + arg + "'");
@@ -130,22 +184,35 @@ struct BenchArgs {
       } else if (arg.rfind("--seed=", 0) == 0) {
         args.seed = parse_u64("--seed", value_of("--seed="));
       } else if (arg.rfind("--scale=", 0) == 0) {
+        if (!opts.scale) {
+          reject_unsupported("--scale", "no trial budget to multiply");
+        }
         args.scale = parse_u64("--scale", value_of("--scale="));
       } else if (arg.rfind("--out=", 0) == 0) {
         args.out_dir = value_of("--out=");
       } else if (arg.rfind("--checkpoint=", 0) == 0) {
+        if (!opts.checkpoint) {
+          reject_unsupported("--checkpoint", "nothing to checkpoint");
+        }
         args.checkpoint_dir = value_of("--checkpoint=");
         if (args.checkpoint_dir.empty()) {
           usage_error("--checkpoint needs a directory");
         }
       } else if (arg == "--resume") {
+        if (!opts.checkpoint) {
+          reject_unsupported("--resume", "nothing to checkpoint");
+        }
         args.resume = true;
       } else if (arg == "--json") {
         args.json = true;
       } else if (arg == "--help" || arg == "-h") {
-        print_usage(prog, stdout);
+        print_usage(prog, stdout, opts);
         std::exit(0);
-      } else if (!arg.empty() && arg.find_first_not_of("0123456789") == std::string::npos) {
+      } else if (std::find(opts.extra_flags.begin(), opts.extra_flags.end(), arg) !=
+                 opts.extra_flags.end()) {
+        args.extras.push_back(arg);
+      } else if (opts.scale && !arg.empty() &&
+                 arg.find_first_not_of("0123456789") == std::string::npos) {
         args.scale = parse_u64("scale", arg);  // legacy positional scale
       } else {
         usage_error("unknown argument '" + arg + "'");
@@ -157,6 +224,61 @@ struct BenchArgs {
     return args;
   }
 };
+
+// The command line of a pure analytical bench: no pool, no budget, no
+// checkpointable shards — only --seed/--json/--out (and --help) apply.
+inline BenchArgs::Options analytical_options() {
+  BenchArgs::Options opts;
+  opts.threads = false;
+  opts.checkpoint = false;
+  opts.scale = false;
+  return opts;
+}
+
+// A bench that drives the functional machinery on one thread with a
+// scalable trial budget, but has no pool and no engine-backed shards.
+inline BenchArgs::Options single_threaded_options() {
+  BenchArgs::Options opts;
+  opts.threads = false;
+  opts.checkpoint = false;
+  return opts;
+}
+
+// One paper-vs-measured row for the artifact's "paper_comparison" section.
+// scripts/repro.sh collects these across all artifacts and prints the
+// EXPERIMENTS.md-style delta table from the artifacts themselves; paper
+// values that the paper prints as text (">1e14", "3.49-3.9 h") stay
+// strings, numeric ones get a mechanical measured/paper ratio downstream.
+inline exp::JsonObject paper_row(const std::string& quantity, double paper,
+                                 double measured) {
+  exp::JsonObject row;
+  row.set("quantity", quantity).set("paper", paper).set("measured", measured);
+  return row;
+}
+
+inline exp::JsonObject paper_row(const std::string& quantity,
+                                 const std::string& paper, double measured) {
+  exp::JsonObject row;
+  row.set("quantity", quantity).set("paper", paper).set("measured", measured);
+  return row;
+}
+
+// Standard artifact epilogue shared by every bench: write the ResultSink
+// artifact (atomic, throws on failure), announce the path, honour --json.
+inline void emit_artifact(const BenchArgs& args, const std::string& name,
+                          const exp::JsonObject& config,
+                          const exp::JsonObject& result, const exp::RunStats& stats,
+                          const obs::MetricsRegistry* metrics = nullptr,
+                          const exp::ShardRunReport* report = nullptr) {
+  const exp::ResultSink sink(args.out_dir);
+  const auto path = sink.write(name, config, result, stats, metrics, report);
+  std::printf("\n  artifact: %s\n", path.string().c_str());
+  if (args.json) {
+    const auto root =
+        exp::ResultSink::make_root(name, config, result, stats, metrics, report);
+    std::printf("%s\n", root.str(/*pretty=*/true).c_str());
+  }
+}
 
 // Call after every engine invocation: when a SIGINT/SIGTERM arrived, the
 // run's remaining shards were skipped, so the final artifact must not be

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Print the paper-vs-measured table from bench artifacts.
+
+Each artifact may carry result.paper_comparison: a list of rows
+{quantity, paper, measured}. `paper` is a number when the paper states
+one, or a string (">1e14", "3.49-3.9", "~1.01") when it doesn't; numeric
+rows get a measured/paper ratio, string rows are printed verbatim.
+Reads artifact paths from argv, writes one aligned table per artifact.
+"""
+import json
+import sys
+
+
+def fmt(v):
+    if isinstance(v, str):
+        return v
+    if v == 0:
+        return "0"
+    a = abs(v)
+    if 0.01 <= a < 1e5:
+        return f"{v:.4g}"
+    return f"{v:.3e}"
+
+
+def main(paths):
+    for path in sorted(paths):
+        try:
+            with open(path) as f:
+                artifact = json.load(f)
+        except (OSError, ValueError) as e:
+            print(f"  {path}: unreadable ({e})", file=sys.stderr)
+            continue
+        rows = artifact.get("result", {}).get("paper_comparison")
+        if not rows:
+            continue
+        print(f"\n  {artifact.get('experiment', path)}")
+        for row in rows:
+            paper, measured = row.get("paper"), row.get("measured")
+            ratio = ""
+            if isinstance(paper, (int, float)) and paper and measured is not None:
+                ratio = f"x{measured / paper:.3g}"
+            print(f"    {row.get('quantity', '?'):<46} paper {fmt(paper):>12}"
+                  f"   measured {fmt(measured):>12}   {ratio}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

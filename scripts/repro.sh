@@ -1,0 +1,154 @@
+#!/usr/bin/env bash
+# One-command reproduction of the paper's tables and figures.
+#
+# Builds the Release tree, runs every artifact-emitting bench at its
+# default seed, diffs each artifact against the checked-in golden under
+# bench/golden/ (tools/artifact_diff: integer counters compare exactly,
+# floats within --rtol, wall-clock sections ignored), and prints the
+# paper-vs-measured table collected from the artifacts' paper_comparison
+# sections. See docs/repro.md for the golden-recording workflow.
+#
+# usage: scripts/repro.sh [--quick] [--record] [--threads=N] [--rtol=X]
+#                         [--build-dir=DIR] [--skip-build] [--no-deltas]
+#
+#   --quick       analytical + fast Monte-Carlo subset (what CI runs):
+#                 skips the three wall-clock-heavy benches
+#   --record      overwrite bench/golden/ with this run's artifacts
+#                 instead of diffing
+#   --threads=N   pool width for the engine-backed benches (results are
+#                 bit-identical for any N; default: all hardware threads)
+#   --rtol=X      relative tolerance for float-shaped numbers
+#                 (default 1e-9: absorbs libm/toolchain ulp drift while
+#                 integer counters stay exact)
+#   --build-dir=DIR  build tree to use (default build-release)
+#   --skip-build  use existing binaries in the build tree as-is
+#   --no-deltas   skip the paper-vs-measured summary table
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+QUICK=0
+RECORD=0
+SKIP_BUILD=0
+DELTAS=1
+THREADS=""
+RTOL=1e-9
+BUILD_DIR=build-release
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    --record) RECORD=1 ;;
+    --skip-build) SKIP_BUILD=1 ;;
+    --no-deltas) DELTAS=0 ;;
+    --threads=*) THREADS="${arg#--threads=}" ;;
+    --rtol=*) RTOL="${arg#--rtol=}" ;;
+    --build-dir=*) BUILD_DIR="${arg#--build-dir=}" ;;
+    --help|-h) sed -n '2,25p' "$0"; exit 0 ;;
+    *) echo "repro.sh: unknown argument '$arg'" >&2; exit 2 ;;
+  esac
+done
+
+GOLDEN_DIR=bench/golden
+OUT_DIR=bench/out
+
+# name | engine-backed (takes --threads) | in --quick | extra ignore globs
+# (the "throughput" wall-clock section is always ignored).
+BENCHES="
+table1_ber          . . .
+table2_ecc_fit      . . .
+table3_sdc          T . .
+table4_sram_vmin    . . .
+fig3_sdr_cases      . . .
+fig7_mttf           . . .
+fig8_performance    . slow .
+fig9_edp            T slow .
+table8_scrub        . . metrics.scrub.sweep_wall_ns
+table9_cache_size   . . .
+table10_delta       . . .
+table11_baselines   T . .
+table12_hiecc       . . .
+correction_latency  . . .
+codec_throughput    . slow result.rows[*].iters,result.rows[*].seconds,result.rows[*].mb_per_s,result.rows[*].speedup_vs_reference
+montecarlo_validation T . .
+ablation_group_size . . .
+ablation_features   T . .
+ablation_inner_ecc  . . .
+scrub_bandwidth     . . metrics.scrub.sweep_wall_ns
+"
+
+if [ "$SKIP_BUILD" -eq 0 ]; then
+  echo "== configure + build ($BUILD_DIR, Release) =="
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
+    $(echo "$BENCHES" | awk 'NF {print "bench_" $1}') artifact_diff >/dev/null
+fi
+
+DIFF_TOOL="$BUILD_DIR/tools/artifact_diff"
+[ -x "$DIFF_TOOL" ] || { echo "repro.sh: $DIFF_TOOL not built" >&2; exit 2; }
+
+rm -rf "$OUT_DIR"
+FAILED=""
+RUN=0
+echo
+echo "== run benches =="
+while read -r name engine speed ignores; do
+  [ -n "$name" ] || continue
+  if [ "$QUICK" -eq 1 ] && [ "$speed" = "slow" ]; then
+    echo "  skip  $name (--quick)"
+    continue
+  fi
+  ARGS=(--out="$OUT_DIR")
+  if [ "$engine" = "T" ] && [ -n "$THREADS" ]; then
+    ARGS+=(--threads="$THREADS")
+  fi
+  echo "  run   $name"
+  if ! "$BUILD_DIR/bench/bench_$name" "${ARGS[@]}" >/dev/null; then
+    echo "repro.sh: bench_$name failed" >&2
+    FAILED="$FAILED $name(run)"
+    continue
+  fi
+  RUN=$((RUN + 1))
+  if [ "$RECORD" -eq 1 ]; then
+    mkdir -p "$GOLDEN_DIR"
+    cp "$OUT_DIR/$name.json" "$GOLDEN_DIR/$name.json"
+    continue
+  fi
+  if [ ! -f "$GOLDEN_DIR/$name.json" ]; then
+    echo "repro.sh: no golden for $name (record with --record)" >&2
+    FAILED="$FAILED $name(missing-golden)"
+    continue
+  fi
+  IGNORE_FLAGS=(--ignore=throughput)
+  if [ "$ignores" != "." ]; then
+    for pat in ${ignores//,/ }; do IGNORE_FLAGS+=(--ignore="$pat"); done
+  fi
+  if ! "$DIFF_TOOL" --rtol="$RTOL" "${IGNORE_FLAGS[@]}" \
+       "$GOLDEN_DIR/$name.json" "$OUT_DIR/$name.json"; then
+    FAILED="$FAILED $name(diff)"
+  fi
+done <<EOF
+$BENCHES
+EOF
+
+if [ "$RECORD" -eq 1 ]; then
+  echo
+  echo "recorded $RUN goldens under $GOLDEN_DIR/"
+fi
+
+if [ "$DELTAS" -eq 1 ]; then
+  echo
+  echo "== paper vs measured (from artifact paper_comparison sections) =="
+  python3 scripts/paper_deltas.py "$OUT_DIR"/*.json
+fi
+
+if [ -n "$FAILED" ]; then
+  echo
+  echo "repro.sh: FAILED:$FAILED" >&2
+  exit 1
+fi
+echo
+if [ "$RECORD" -eq 1 ]; then
+  echo "repro.sh: OK ($RUN goldens recorded)"
+else
+  echo "repro.sh: OK ($RUN benches matched golden artifacts)"
+fi

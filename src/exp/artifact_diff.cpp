@@ -1,0 +1,294 @@
+#include "exp/artifact_diff.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace sudoku::exp {
+
+namespace {
+
+const char* kind_name(JsonValue::Kind k) {
+  switch (k) {
+    case JsonValue::Kind::kNull: return "null";
+    case JsonValue::Kind::kBool: return "bool";
+    case JsonValue::Kind::kNumber: return "number";
+    case JsonValue::Kind::kString: return "string";
+    case JsonValue::Kind::kArray: return "array";
+    case JsonValue::Kind::kObject: return "object";
+  }
+  return "?";
+}
+
+struct DiffContext {
+  const ArtifactDiffOptions& options;
+  ArtifactDiffResult& result;
+
+  bool ignored(const std::string& path) const {
+    for (const auto& pattern : options.ignore) {
+      if (path_glob_match(pattern, path)) return true;
+    }
+    return false;
+  }
+
+  void mismatch(const std::string& path, std::string message) {
+    result.entries.push_back({path, std::move(message)});
+  }
+};
+
+std::string child_path(const std::string& base, const std::string& key) {
+  return base.empty() ? key : base + "." + key;
+}
+
+std::string index_path(const std::string& base, std::size_t i) {
+  return base + "[" + std::to_string(i) + "]";
+}
+
+void diff_value(DiffContext& ctx, const std::string& path, const JsonValue& golden,
+                const JsonValue& actual);
+
+void diff_number(DiffContext& ctx, const std::string& path, const JsonValue& golden,
+                 const JsonValue& actual) {
+  const bool g_int = number_text_is_integer(golden.scalar);
+  const bool a_int = number_text_is_integer(actual.scalar);
+  if (golden.scalar == actual.scalar) return;
+  if (g_int && a_int) {
+    // Integer counters compare by raw text: exact, even beyond 2^53. The
+    // emitter is canonical (no leading zeros, no "+"), so unequal text
+    // means unequal value.
+    ctx.mismatch(path, "integer golden " + golden.scalar + " != actual " +
+                           actual.scalar);
+    return;
+  }
+  const auto g = golden.as_double();
+  const auto a = actual.as_double();
+  if (!g || !a) {
+    ctx.mismatch(path, "unparsable number golden '" + golden.scalar +
+                           "' vs actual '" + actual.scalar + "'");
+    return;
+  }
+  const double tol = ctx.options.rel_tol * std::max(std::fabs(*g), std::fabs(*a));
+  if (std::fabs(*g - *a) <= tol) return;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "golden %s != actual %s (rel delta %.3g, rtol %.3g)",
+                golden.scalar.c_str(), actual.scalar.c_str(),
+                *g == 0.0 && *a == 0.0
+                    ? 0.0
+                    : std::fabs(*g - *a) / std::max(std::fabs(*g), std::fabs(*a)),
+                ctx.options.rel_tol);
+  ctx.mismatch(path, buf);
+}
+
+void diff_object(DiffContext& ctx, const std::string& path, const JsonValue& golden,
+                 const JsonValue& actual) {
+  for (const auto& [key, gv] : golden.members) {
+    const std::string p = child_path(path, key);
+    const JsonValue* av = actual.find(key);
+    if (av == nullptr) {
+      if (!ctx.ignored(p)) ctx.mismatch(p, "present in golden, missing in actual");
+      continue;
+    }
+    diff_value(ctx, p, gv, *av);
+  }
+  for (const auto& [key, av] : actual.members) {
+    (void)av;
+    if (golden.find(key) != nullptr) continue;
+    const std::string p = child_path(path, key);
+    if (!ctx.ignored(p)) ctx.mismatch(p, "missing in golden, present in actual");
+  }
+}
+
+void diff_array(DiffContext& ctx, const std::string& path, const JsonValue& golden,
+                const JsonValue& actual) {
+  if (golden.items.size() != actual.items.size()) {
+    ctx.mismatch(path, "array length golden " + std::to_string(golden.items.size()) +
+                           " != actual " + std::to_string(actual.items.size()));
+  }
+  const std::size_t n = std::min(golden.items.size(), actual.items.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    diff_value(ctx, index_path(path, i), golden.items[i], actual.items[i]);
+  }
+}
+
+void diff_value(DiffContext& ctx, const std::string& path, const JsonValue& golden,
+                const JsonValue& actual) {
+  if (ctx.ignored(path)) return;
+  if (golden.kind != actual.kind) {
+    ctx.mismatch(path, std::string("kind golden ") + kind_name(golden.kind) +
+                           " != actual " + kind_name(actual.kind) +
+                           " (the emitter renders NaN/Inf as null)");
+    return;
+  }
+  switch (golden.kind) {
+    case JsonValue::Kind::kNull:
+      return;  // null == null (both non-finite or both absent-by-design)
+    case JsonValue::Kind::kBool:
+      if (golden.boolean != actual.boolean) {
+        ctx.mismatch(path, std::string("golden ") + (golden.boolean ? "true" : "false") +
+                               " != actual " + (actual.boolean ? "true" : "false"));
+      }
+      return;
+    case JsonValue::Kind::kString:
+      if (golden.scalar != actual.scalar) {
+        ctx.mismatch(path, "golden \"" + golden.scalar + "\" != actual \"" +
+                               actual.scalar + "\"");
+      }
+      return;
+    case JsonValue::Kind::kNumber:
+      diff_number(ctx, path, golden, actual);
+      return;
+    case JsonValue::Kind::kArray:
+      diff_array(ctx, path, golden, actual);
+      return;
+    case JsonValue::Kind::kObject:
+      diff_object(ctx, path, golden, actual);
+      return;
+  }
+}
+
+}  // namespace
+
+bool number_text_is_integer(const std::string& raw) {
+  if (raw.empty()) return false;
+  std::size_t i = raw[0] == '-' ? 1 : 0;
+  if (i == raw.size()) return false;
+  for (; i < raw.size(); ++i) {
+    if (raw[i] < '0' || raw[i] > '9') return false;
+  }
+  return true;
+}
+
+bool path_glob_match(const std::string& pattern, const std::string& path) {
+  // Iterative glob with single backtrack point — linear in practice.
+  std::size_t p = 0, s = 0;
+  std::size_t star = std::string::npos, star_s = 0;
+  while (s < path.size()) {
+    if (p < pattern.size() && (pattern[p] == path[s] || pattern[p] == '?')) {
+      ++p, ++s;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      star_s = s;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      s = ++star_s;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+ArtifactDiffResult diff_artifacts(const JsonValue& golden, const JsonValue& actual,
+                                  const ArtifactDiffOptions& options) {
+  ArtifactDiffResult result;
+  DiffContext ctx{options, result};
+  diff_value(ctx, "", golden, actual);
+  return result;
+}
+
+std::string render_artifact_diff(const ArtifactDiffResult& result) {
+  std::string out;
+  for (const auto& e : result.entries) {
+    out += (e.path.empty() ? std::string("<root>") : e.path) + ": " + e.message + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+// nullopt on unreadable/unparsable input, with the reason on stderr.
+std::optional<JsonValue> load_artifact(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "artifact_diff: cannot open '%s': %s\n", path,
+                 std::strerror(errno));
+    return std::nullopt;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string error;
+  auto parsed = json_parse(ss.str(), &error);
+  if (!parsed) {
+    std::fprintf(stderr, "artifact_diff: '%s' is not valid JSON: %s\n", path,
+                 error.c_str());
+  }
+  return parsed;
+}
+
+void print_cli_usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: artifact_diff [--rtol=X] [--ignore=PATTERN]... "
+               "<golden.json> <actual.json>\n"
+               "\n"
+               "  --rtol=X           relative tolerance for float-shaped numbers\n"
+               "                     (integer counters always compare exactly; default 0)\n"
+               "  --ignore=PATTERN   skip subtrees whose dotted path glob-matches\n"
+               "                     PATTERN (e.g. throughput, result.rows[*].seconds);\n"
+               "                     repeatable\n"
+               "\n"
+               "exit: 0 identical outside ignored sections, 1 differing, 2 error\n");
+}
+
+}  // namespace
+
+int artifact_diff_main(int argc, char** argv) {
+  ArtifactDiffOptions options;
+  std::vector<const char*> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--rtol=", 0) == 0) {
+      const std::string text = arg.substr(7);
+      errno = 0;
+      char* end = nullptr;
+      const double v = std::strtod(text.c_str(), &end);
+      if (text.empty() || errno == ERANGE || end != text.c_str() + text.size() ||
+          !(v >= 0.0)) {
+        std::fprintf(stderr, "artifact_diff: invalid --rtol value '%s'\n",
+                     text.c_str());
+        print_cli_usage(stderr);
+        return 2;
+      }
+      options.rel_tol = v;
+    } else if (arg.rfind("--ignore=", 0) == 0) {
+      if (arg.size() == 9) {
+        std::fprintf(stderr, "artifact_diff: --ignore needs a pattern\n");
+        print_cli_usage(stderr);
+        return 2;
+      }
+      options.ignore.push_back(arg.substr(9));
+    } else if (arg == "--help" || arg == "-h") {
+      print_cli_usage(stdout);
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "artifact_diff: unknown flag '%s'\n", arg.c_str());
+      print_cli_usage(stderr);
+      return 2;
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+  if (files.size() != 2) {
+    std::fprintf(stderr, "artifact_diff: expected exactly two files, got %zu\n",
+                 files.size());
+    print_cli_usage(stderr);
+    return 2;
+  }
+  const auto golden = load_artifact(files[0]);
+  if (!golden) return 2;
+  const auto actual = load_artifact(files[1]);
+  if (!actual) return 2;
+  const auto diff = diff_artifacts(*golden, *actual, options);
+  if (diff.identical()) return 0;
+  std::fprintf(stderr, "artifact_diff: %s differs from golden %s in %zu place(s):\n%s",
+               files[1], files[0], diff.entries.size(),
+               render_artifact_diff(diff).c_str());
+  return 1;
+}
+
+}  // namespace sudoku::exp

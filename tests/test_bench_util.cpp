@@ -193,5 +193,69 @@ TEST(BenchArgsDeath, HelpExitsZeroWithUsage) {
               ::testing::ExitedWithCode(0), "");
 }
 
+// Analytical benches have no worker pool, trial budget, or checkpointable
+// shards: the corresponding flags must hit the usage+exit-2 path instead
+// of being silently swallowed.
+int parse_analytical_and_return(std::initializer_list<const char*> argv_list) {
+  std::vector<const char*> argv(argv_list);
+  bench::BenchArgs::Options opts;
+  opts.threads = false;
+  opts.checkpoint = false;
+  opts.scale = false;
+  bench::BenchArgs::parse(static_cast<int>(argv.size()),
+                          const_cast<char**>(argv.data()), opts);
+  return 0;
+}
+
+TEST(BenchArgsDeath, AnalyticalBenchRejectsThreads) {
+  EXPECT_EXIT(parse_analytical_and_return({"bench", "--threads=4"}),
+              ::testing::ExitedWithCode(2),
+              "--threads is not supported by this bench");
+}
+
+TEST(BenchArgsDeath, AnalyticalBenchRejectsCheckpointAndResume) {
+  EXPECT_EXIT(parse_analytical_and_return({"bench", "--checkpoint=/tmp/ck"}),
+              ::testing::ExitedWithCode(2),
+              "--checkpoint is not supported by this bench");
+  EXPECT_EXIT(parse_analytical_and_return({"bench", "--resume"}),
+              ::testing::ExitedWithCode(2),
+              "--resume is not supported by this bench");
+}
+
+TEST(BenchArgsDeath, AnalyticalBenchRejectsScaleAndPositional) {
+  EXPECT_EXIT(parse_analytical_and_return({"bench", "--scale=3"}),
+              ::testing::ExitedWithCode(2),
+              "--scale is not supported by this bench");
+  EXPECT_EXIT(parse_analytical_and_return({"bench", "7"}),
+              ::testing::ExitedWithCode(2), "unknown argument");
+}
+
+TEST(BenchArgs, AnalyticalBenchStillTakesSeedJsonOut) {
+  const char* argv[] = {"bench", "--seed=3", "--json", "--out=/tmp/o"};
+  bench::BenchArgs::Options opts;
+  opts.threads = false;
+  opts.checkpoint = false;
+  opts.scale = false;
+  const auto args =
+      bench::BenchArgs::parse(4, const_cast<char**>(argv), opts);
+  EXPECT_EQ(args.seed, 3u);
+  EXPECT_TRUE(args.json);
+  EXPECT_EQ(args.out_dir, "/tmp/o");
+}
+
+TEST(BenchArgs, ExtraFlagsAreCollected) {
+  const char* argv[] = {"bench", "--gbench"};
+  bench::BenchArgs::Options opts;
+  opts.extra_flags = {"--gbench"};
+  const auto args = bench::BenchArgs::parse(2, const_cast<char**>(argv), opts);
+  EXPECT_TRUE(args.has_extra("--gbench"));
+  EXPECT_FALSE(args.has_extra("--other"));
+}
+
+TEST(BenchArgsDeath, UndeclaredExtraFlagStillUnknown) {
+  EXPECT_EXIT(parse_and_return({"bench", "--gbench"}),
+              ::testing::ExitedWithCode(2), "unknown argument");
+}
+
 }  // namespace
 }  // namespace sudoku::exp

@@ -1,0 +1,10 @@
+// Thin CLI over exp::artifact_diff_main (see src/exp/artifact_diff.h):
+// compares a bench/out artifact against its bench/golden reference with
+// exact integers, rel-tolerant floats, and glob ignore patterns for the
+// wall-clock sections. Driven by scripts/repro.sh and the paper-repro CI
+// job; exits 0 identical / 1 differing / 2 error.
+#include "exp/artifact_diff.h"
+
+int main(int argc, char** argv) {
+  return sudoku::exp::artifact_diff_main(argc, argv);
+}
