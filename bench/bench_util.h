@@ -77,6 +77,8 @@ struct BenchArgs {
     bool threads = true;     // accepts --threads (has a worker pool)
     bool checkpoint = true;  // accepts --checkpoint/--resume (engine-backed)
     bool scale = true;       // accepts --scale / positional K (trial budget)
+    bool load = false;       // accepts --clients/--banks/--duration-ms
+                             // (drives a concurrent service load sweep)
     // Bench-specific boolean flags, spelled with the leading "--"
     // (e.g. "--gbench"). Parsed occurrences land in BenchArgs::extras.
     std::vector<std::string> extra_flags;
@@ -84,6 +86,12 @@ struct BenchArgs {
 
   std::uint64_t scale = 1;
   unsigned threads = 0;
+  // Load-sweep overrides (Options::load benches). 0 = "not given, use the
+  // bench's sweep defaults"; an explicit 0 on the command line is rejected
+  // — a service with zero clients or banks measures nothing.
+  std::uint32_t clients = 0;
+  std::uint32_t banks = 0;
+  std::uint32_t duration_ms = 0;
   std::uint64_t seed = 0;
   bool json = false;
   std::string out_dir = "bench/out";
@@ -114,6 +122,7 @@ struct BenchArgs {
     if (opts.threads) synopsis += " [--threads=N]";
     if (opts.scale) synopsis += " [--scale=K | K]";
     if (opts.checkpoint) synopsis += " [--checkpoint=DIR [--resume]]";
+    if (opts.load) synopsis += " [--clients=N] [--banks=N] [--duration-ms=N]";
     for (const auto& f : opts.extra_flags) synopsis += " [" + f + "]";
     synopsis += " [--help]";
     std::fprintf(to, "%s\n\n", synopsis.c_str());
@@ -131,6 +140,12 @@ struct BenchArgs {
       std::fprintf(to,
                    "  --checkpoint=DIR  persist finished shards; interrupt exits 75 (resumable)\n"
                    "  --resume          replay finished shards from --checkpoint=DIR\n");
+    }
+    if (opts.load) {
+      std::fprintf(to,
+                   "  --clients=N       pin the client-thread count (default: sweep)\n"
+                   "  --banks=N         pin the bank count (default: sweep)\n"
+                   "  --duration-ms=N   per-point run length in milliseconds\n");
     }
     std::fprintf(to, "  --help            this message\n");
   }
@@ -197,6 +212,24 @@ struct BenchArgs {
         args.checkpoint_dir = value_of("--checkpoint=");
         if (args.checkpoint_dir.empty()) {
           usage_error("--checkpoint needs a directory");
+        }
+      } else if (arg.rfind("--clients=", 0) == 0 ||
+                 arg.rfind("--banks=", 0) == 0 ||
+                 arg.rfind("--duration-ms=", 0) == 0) {
+        const std::string flag = arg.substr(0, arg.find('='));
+        if (!opts.load) {
+          reject_unsupported(flag, "not a load-sweep bench");
+        }
+        const std::uint64_t v = parse_u64(flag, value_of(flag + "="));
+        if (v == 0 || v > std::numeric_limits<std::uint32_t>::max()) {
+          usage_error("value out of range for " + flag + ": '" + arg + "'");
+        }
+        if (flag == "--clients") {
+          args.clients = static_cast<std::uint32_t>(v);
+        } else if (flag == "--banks") {
+          args.banks = static_cast<std::uint32_t>(v);
+        } else {
+          args.duration_ms = static_cast<std::uint32_t>(v);
         }
       } else if (arg == "--resume") {
         if (!opts.checkpoint) {

@@ -80,7 +80,8 @@ if [ "$SKIP_BUILD" -eq 0 ]; then
   echo "== configure + build ($BUILD_DIR, Release) =="
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
   cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
-    $(echo "$BENCHES" | awk 'NF {print "bench_" $1}') artifact_diff >/dev/null
+    $(echo "$BENCHES" | awk 'NF {print "bench_" $1}') \
+    bench_service_throughput artifact_diff >/dev/null
 fi
 
 DIFF_TOOL="$BUILD_DIR/tools/artifact_diff"
@@ -129,6 +130,30 @@ while read -r name engine speed ignores; do
 done <<EOF
 $BENCHES
 EOF
+
+# The concurrent-service bench is host-timing (QPS/latency depend on the
+# machine), so it is checked for *schema*, not numbers: the golden pins the
+# sweep's shape (row identity fields, config) while every measured field,
+# the merged metrics and the wall-clock section are ignored. Always the
+# --quick sweep, so the row set matches the recorded golden.
+echo "  run   service_throughput (schema only)"
+if ! "$BUILD_DIR/bench/bench_service_throughput" --quick --out="$OUT_DIR" >/dev/null; then
+  echo "repro.sh: bench_service_throughput failed" >&2
+  FAILED="$FAILED service_throughput(run)"
+elif [ "$RECORD" -eq 1 ]; then
+  RUN=$((RUN + 1))
+  mkdir -p "$GOLDEN_DIR"
+  cp "$OUT_DIR/service_throughput.json" "$GOLDEN_DIR/service_throughput.json"
+elif [ ! -f "$GOLDEN_DIR/service_throughput.json" ]; then
+  echo "repro.sh: no golden for service_throughput (record with --record)" >&2
+  FAILED="$FAILED service_throughput(missing-golden)"
+elif ! "$DIFF_TOOL" --rtol="$RTOL" --ignore=throughput --ignore=metrics \
+       --ignore='result.rows[*].measured' \
+       "$GOLDEN_DIR/service_throughput.json" "$OUT_DIR/service_throughput.json"; then
+  FAILED="$FAILED service_throughput(diff)"
+else
+  RUN=$((RUN + 1))
+fi
 
 if [ "$RECORD" -eq 1 ]; then
   echo

@@ -53,4 +53,72 @@ void HiEccCache::restore_unit(std::uint64_t unit, const BitVec& golden_stored) {
   array_.write_line(unit, golden_stored);
 }
 
+HiEccCache::LineRead HiEccCache::read_line_data(std::uint64_t line) {
+  const std::uint64_t region = line / kLinesPerRegion;
+  const std::uint32_t base = (line % kLinesPerRegion) * kLineDataBits;
+  BitVec cw = array_.read_line(region);
+  LineRead out;
+  out.data = BitVec(kLineDataBits);
+  switch (bch_.decode(cw).status) {
+    case Bch::DecodeStatus::kClean:
+      out.status = LineReadStatus::kClean;
+      break;
+    case Bch::DecodeStatus::kCorrected:
+      array_.write_line(region, cw);  // scrub-on-read, like the controller
+      out.status = LineReadStatus::kCorrected;
+      break;
+    case Bch::DecodeStatus::kUncorrectable:
+      out.status = LineReadStatus::kDue;  // the whole 1 KB region is lost
+      return out;
+  }
+  for (std::uint32_t i = 0; i < kLineDataBits; i += 64) {
+    out.data.set_bits(i, 64, cw.get_bits(base + i, 64));
+  }
+  return out;
+}
+
+void HiEccCache::write_line_data(std::uint64_t line, const BitVec& data512) {
+  const std::uint64_t region = line / kLinesPerRegion;
+  const std::uint32_t base = (line % kLinesPerRegion) * kLineDataBits;
+  // Region read-modify-write. Correct the old content first so the other
+  // 15 lines survive; an uncorrectable region has already lost them, and
+  // re-encoding over whatever is stored resynchronises the parity (same
+  // semantics as SudokuController::write_data over a lost line).
+  BitVec cw = array_.read_line(region);
+  bch_.decode(cw);
+  for (std::uint32_t i = 0; i < kLineDataBits; i += 64) {
+    cw.set_bits(base + i, 64, data512.get_bits(i, 64));
+  }
+  bch_.encode(cw);
+  array_.write_line(region, cw);
+}
+
+bool HiEccCache::probe_clean_line(std::uint64_t line, BitVec& cw_scratch,
+                                  BitVec& data_out) const {
+  const std::uint64_t region = line / kLinesPerRegion;
+  const std::uint32_t base = (line % kLinesPerRegion) * kLineDataBits;
+  array_.read_line(region, cw_scratch);
+  if (!bch_.syndromes_zero(cw_scratch)) return false;
+  if (data_out.size() != kLineDataBits) data_out.resize(kLineDataBits);
+  for (std::uint32_t i = 0; i < kLineDataBits; i += 64) {
+    data_out.set_bits(i, 64, cw_scratch.get_bits(base + i, 64));
+  }
+  return true;
+}
+
+void HiEccCache::format_lines(const std::function<BitVec(std::uint64_t)>& make_data) {
+  BitVec cw(bch_.codeword_bits());
+  for (std::uint64_t region = 0; region < array_.num_lines(); ++region) {
+    cw.clear();
+    for (std::uint32_t k = 0; k < kLinesPerRegion; ++k) {
+      const BitVec data = make_data(region * kLinesPerRegion + k);
+      for (std::uint32_t i = 0; i < kLineDataBits; i += 64) {
+        cw.set_bits(k * kLineDataBits + i, 64, data.get_bits(i, 64));
+      }
+    }
+    bch_.encode(cw);
+    array_.write_line(region, cw);
+  }
+}
+
 }  // namespace sudoku::baselines

@@ -6,6 +6,8 @@
 // loses 16 cache lines at once.
 #pragma once
 
+#include <functional>
+
 #include "baselines/scheme.h"
 #include "codes/bch.h"
 
@@ -29,8 +31,33 @@ class HiEccCache final : public CacheScheme {
     return static_cast<double>(bch_.parity_bits()) / 16.0;  // per 64 B line
   }
 
+  // ---- line-granular data path (used by the concurrent service) ----
+  // The stored region is a systematic BCH codeword ([data | parity]); line
+  // k of a region occupies data bits [(k % 16)·512, +512). A line read
+  // decodes the whole region (that is Hi-ECC's cost model: one ECC-6 unit
+  // per 1 KB); a line write is a region read-modify-write that re-encodes
+  // the parity.
+  enum class LineReadStatus { kClean, kCorrected, kDue };
+  struct LineRead {
+    BitVec data;  // 512 bits; zero when kDue
+    LineReadStatus status = LineReadStatus::kClean;
+  };
+  std::uint64_t num_data_lines() const { return array_.num_lines() * kLinesPerRegion; }
+  LineRead read_line_data(std::uint64_t line);
+  void write_line_data(std::uint64_t line, const BitVec& data512);
+  // Side-effect-free clean probe for the service's lock-free fast path:
+  // copy line's region into `cw_scratch`; iff its syndromes are clean,
+  // extract the line's data into `data_out` and return true. Tolerates
+  // torn images (caller validates against its seqlock epoch).
+  bool probe_clean_line(std::uint64_t line, BitVec& cw_scratch,
+                        BitVec& data_out) const;
+  // Fill every line from `make_data(line)` (the service's deterministic
+  // format hook; format_random remains the MC harness entry point).
+  void format_lines(const std::function<BitVec(std::uint64_t)>& make_data);
+
   static constexpr std::uint32_t kLinesPerRegion = 16;
   static constexpr std::uint32_t kRegionDataBits = 8192;
+  static constexpr std::uint32_t kLineDataBits = 512;
 
  private:
   int t_;

@@ -42,8 +42,11 @@ void ThreadPool::submit(Task task) {
     std::lock_guard<std::mutex> lock(injector_mutex_);
     injector_.push_back(std::move(task));
   }
-  pending_.fetch_add(1, std::memory_order_release);
-  work_cv_.notify_one();
+  // seq_cst pairing with the parking path in worker_loop: the pending_
+  // store must be globally ordered before the sleepers_ load, or a worker
+  // parking concurrently could miss the task while we miss the sleeper.
+  pending_.fetch_add(1, std::memory_order_seq_cst);
+  if (sleepers_.load(std::memory_order_seq_cst) != 0) work_cv_.notify_one();
 }
 
 bool ThreadPool::try_pop_local(unsigned index, Task& out) {
@@ -104,12 +107,16 @@ void ThreadPool::worker_loop(unsigned index) {
       continue;
     }
     std::unique_lock<std::mutex> lock(injector_mutex_);
-    // pending_ is re-checked under the lock every submit notifies through,
-    // so a task enqueued between our failed scans and this wait cannot be
-    // missed.
+    // Park. sleepers_ goes up before the predicate's pending_ load (both
+    // seq_cst, see submit()): either we observe the task enqueued between
+    // our failed scans and this point and skip the wait, or the submitter
+    // observes our sleepers_ increment and notifies — a wakeup cannot be
+    // lost, and submit() pays no notify syscall while nobody is parked.
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
     work_cv_.wait(lock, [this] {
-      return stop_ || pending_.load(std::memory_order_acquire) != 0;
+      return stop_ || pending_.load(std::memory_order_seq_cst) != 0;
     });
+    sleepers_.fetch_sub(1, std::memory_order_seq_cst);
     if (stop_ && pending_.load(std::memory_order_acquire) == 0) return;
   }
 }

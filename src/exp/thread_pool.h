@@ -2,7 +2,14 @@
 // deque — LIFO for the owner (cache-warm), FIFO for thieves — fed by a
 // global injector queue for tasks submitted from outside the pool. Workers
 // that find nothing locally scan the injector, then steal round-robin from
-// the other workers, then sleep until new work is announced.
+// the other workers, then park on a condition variable until new work is
+// announced — an idle pool consumes no CPU, which matters when it backs a
+// long-lived service (src/service keeps its scrub pool alive between
+// bursts). submit() elides the wake syscall when no worker is parked: the
+// parked-worker count and the pending-task count are both seq_cst, so the
+// submitter's "pending then sleepers" store-load and the parker's
+// "sleepers then pending" store-load cannot both miss (at least one side
+// observes the other; no lost wakeup).
 //
 // Determinism note: the pool schedules shards in whatever order the OS
 // lets it; reproducibility is the *engine's* job (per-trial seed streams +
@@ -82,6 +89,7 @@ class ThreadPool {
   std::deque<Task> injector_;
   std::atomic<std::uint64_t> pending_{0};    // queued, not yet started
   std::atomic<std::uint64_t> in_flight_{0};  // queued or executing
+  std::atomic<unsigned> sleepers_{0};        // workers parked on work_cv_
   bool stop_ = false;
 
   std::mutex idle_mutex_;

@@ -43,6 +43,43 @@ void Histogram::observe(double v) {
   ++count_;
 }
 
+double Histogram::percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  // Rank of the target observation (1-based, fractional): the value below
+  // which a q-fraction of the count lies.
+  const double target = q * static_cast<double>(count_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const double in_bucket = static_cast<double>(buckets_[i]);
+    if (in_bucket == 0.0 || cum + in_bucket < target) {
+      cum += in_bucket;
+      continue;
+    }
+    // The crossing bucket. Its boundaries: the open-ended buckets borrow
+    // the observed extremes; interior buckets use their edges.
+    const double lo = i == 0 ? min_ : edges_[i - 1];
+    const double hi = i == buckets_.size() - 1 ? max_ : edges_[i];
+    const double frac = (target - cum) / in_bucket;
+    const double v = lo + (hi - lo) * frac;
+    // Clamp: min/max can sit inside the crossing bucket's edge range.
+    return std::max(min_, std::min(max_, v));
+  }
+  return max_;
+}
+
+HistogramSummary Histogram::summary() const {
+  HistogramSummary s;
+  s.count = count_;
+  if (count_ == 0) return s;
+  s.p50 = percentile(0.5);
+  s.p99 = percentile(0.99);
+  s.p999 = percentile(0.999);
+  s.max = max_;
+  return s;
+}
+
 Histogram& Histogram::operator+=(const Histogram& o) {
   if (edges_ != o.edges_) {
     std::fprintf(stderr,

@@ -75,6 +75,19 @@ class Gauge {
 // edges[i-1] <= v < edges[i], and the final bucket counts v >= edges.back()
 // (overflow) — so there are edges.size() + 1 buckets and every observation
 // lands somewhere. Sum/min/max are tracked for the snapshot.
+class Histogram;
+
+// Rendered quantile digest of one histogram (see Histogram::summary()):
+// what a latency metric needs to print p50/p99/p999 without any
+// post-processing of the bucket vector.
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+  double max = 0.0;
+};
+
 class Histogram {
  public:
   Histogram() = default;
@@ -92,6 +105,20 @@ class Histogram {
   double min() const { return min_; }
   double max() const { return max_; }
   double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+
+  // Quantile estimate for q in [0, 1] by linear interpolation inside the
+  // bucket where the cumulative count crosses q·count. Bucket interiors
+  // are unknown, so the estimate is exact only at bucket edges; the
+  // interior error is bounded by the bucket width. The open-ended buckets
+  // use the tracked extremes as their missing boundary (underflow spans
+  // [min, edges[0]), overflow [edges.back(), max]), and results are
+  // clamped to [min, max] so a quantile can never leave the observed
+  // range. count() == 0 returns 0.
+  double percentile(double q) const;
+
+  // count/p50/p99/p999/max in one call — the digest a latency metric
+  // prints. Zeroes when empty.
+  HistogramSummary summary() const;
 
   // Merge requires identical edges (same metric definition); mismatching
   // shapes are a programming error and abort loudly.

@@ -1,0 +1,63 @@
+// Load-generator frontend for the concurrent memory service: N client
+// threads issuing a synthetic read/write mix against a MemoryService,
+// optionally with a background fault injector, measuring throughput and
+// read-latency quantiles. Two arrival disciplines:
+//
+//  * closed loop — each client issues its next op as soon as the previous
+//    one completes (throughput-bound; measures service capacity);
+//  * open loop — arrivals are a pre-scheduled Poisson process (exponential
+//    gaps at rate/clients per thread) and latency is measured from the
+//    *scheduled* arrival, so queueing delay behind a slow repair shows up
+//    in the tail instead of being absorbed by coordinated omission.
+//
+// Address mix reuses the hot-set model of src/sim's workload profiles
+// (hot_frac of accesses hit the first hot_lines_frac of the footprint);
+// `profile` names a roster benchmark to borrow its published mix. Client
+// RNGs come from exp::SeedSequence streams (client k = stream k, injector =
+// stream clients), so a run is reproducible from its seed — though wall-
+// clock interleaving, and thus the measured numbers, naturally are not.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+#include "service/service.h"
+
+namespace sudoku::service {
+
+struct LoadConfig {
+  std::uint32_t clients = 1;
+  bool open_loop = false;
+  double open_loop_rate = 100000.0;  // total ops/sec across all clients
+  std::uint32_t duration_ms = 200;   // wall-clock run length
+  std::uint64_t ops_per_client = 0;  // when nonzero, stop after N ops instead
+  double write_frac = 0.3;
+  double hot_frac = 0.8;
+  double hot_lines_frac = 0.1;
+  std::string profile;  // sim roster name; overrides the three fields above
+  std::uint64_t seed = 1;
+  // Background fault injection: every inject_interval_ms, each bank takes a
+  // Binomial(bank_bits, ber_per_interval) batch, then an async scrub of the
+  // touched units is queued. 0 disables.
+  double ber_per_interval = 0.0;
+  std::uint32_t inject_interval_ms = 0;
+};
+
+struct LoadReport {
+  std::uint64_t ops = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t due_reads = 0;  // reads that returned kDue (data lost)
+  double wall_seconds = 0.0;
+  double qps = 0.0;
+  obs::HistogramSummary read_latency_ns;
+  std::uint64_t queue_depth_max = 0;
+  // Client registries (client order) + service shard/worker registries,
+  // merged deterministically.
+  obs::MetricsRegistry metrics;
+};
+
+LoadReport run_load(MemoryService& service, const LoadConfig& config);
+
+}  // namespace sudoku::service

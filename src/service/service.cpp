@@ -1,0 +1,233 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sudoku::service {
+
+ClientStats::ClientStats() {
+  read_fast_ = registry_.counter("service.read.fast");
+  read_clean_ = registry_.counter("service.read.clean");
+  read_corrected_ = registry_.counter("service.read.corrected");
+  read_repaired_ = registry_.counter("service.read.repaired");
+  read_due_ = registry_.counter("service.read.due");
+  writes_ = registry_.counter("service.write.count");
+}
+
+MemoryService::MemoryService(const ServiceConfig& config,
+                             const BackendFactory& factory)
+    : fast_read_attempts_(config.fast_read_attempts) {
+  assert(config.banks > 0);
+  shards_.reserve(config.banks);
+  for (std::uint32_t bank = 0; bank < config.banks; ++bank) {
+    auto shard = std::make_unique<BankShard>();
+    shard->backend = factory(bank);
+    shard->scrub_units = shard->registry.counter("service.scrub.units");
+    shard->scrub_due = shard->registry.counter("service.scrub.due_units");
+    shard->backend->attach_metrics(&shard->registry);
+    shards_.push_back(std::move(shard));
+  }
+  lines_per_bank_ = shards_.front()->backend->num_lines();
+  for (const auto& shard : shards_) {
+    assert(shard->backend->num_lines() == lines_per_bank_);
+    (void)shard;
+  }
+
+  const std::uint32_t workers = std::max(1u, config.repair_workers);
+  workers_.reserve(workers);
+  for (std::uint32_t w = 0; w < workers; ++w) {
+    workers_.push_back(std::make_unique<WorkerState>());
+  }
+  // Threads start only after the vector is fully built (no reallocation
+  // while a worker may already be touching its state).
+  for (std::uint32_t w = 0; w < workers; ++w) {
+    workers_[w]->thread = std::thread([this, w] { worker_loop(w); });
+  }
+}
+
+MemoryService::~MemoryService() {
+  {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    drain_cv_.wait(lock, [this] { return queue_.empty() && active_tasks_ == 0; });
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& worker : workers_) worker->thread.join();
+}
+
+void MemoryService::format(
+    const std::function<BitVec(std::uint32_t, std::uint64_t)>& make_data) {
+  for (std::uint32_t bank = 0; bank < banks(); ++bank) {
+    shards_[bank]->backend->format(
+        [&](std::uint64_t line) { return make_data(bank, line); });
+  }
+}
+
+void MemoryService::format_zero() {
+  format([](std::uint32_t, std::uint64_t) { return BitVec(512); });
+}
+
+ReadStatus MemoryService::read(std::uint64_t addr, ClientStats& stats,
+                               BitVec& data_out) {
+  BankShard& shard = *shards_[addr % banks()];
+  const std::uint64_t line = addr / banks();
+
+  // Seqlock fast path. The epoch pair brackets the backend's storage copy:
+  // e1 even and e2 == e1 proves no mutator ran anywhere inside the probe,
+  // so the copy is untorn and the clean verdict is current. Acquire on e1
+  // orders it before the storage loads; the fence orders the storage loads
+  // before e2. A torn/raced copy simply fails validation and we retry or
+  // take the lock — never a wrong answer, only a slower one.
+  for (std::uint32_t attempt = 0; attempt < fast_read_attempts_; ++attempt) {
+    const std::uint64_t e1 = shard.epoch.load(std::memory_order_acquire);
+    if (e1 & 1) break;  // mutator active; don't burn retries
+    const bool clean = shard.backend->try_clean_read(line, stats.stored_scratch_,
+                                                     stats.data_scratch_);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const std::uint64_t e2 = shard.epoch.load(std::memory_order_relaxed);
+    if (e1 != e2) continue;  // raced a mutator; the probe result is void
+    if (!clean) break;       // genuinely not clean: need the repair path
+    data_out = stats.data_scratch_;
+    stats.read_fast_->inc();
+    return ReadStatus::kClean;
+  }
+
+  // Slow path: full controller read (may correct/repair, i.e. mutate).
+  MutatorGuard guard(shard);
+  ReadReply reply = shard.backend->read(line);
+  data_out = std::move(reply.data);
+  switch (reply.status) {
+    case ReadStatus::kClean: stats.read_clean_->inc(); break;
+    case ReadStatus::kCorrected: stats.read_corrected_->inc(); break;
+    case ReadStatus::kRepaired: stats.read_repaired_->inc(); break;
+    case ReadStatus::kDue: stats.read_due_->inc(); break;
+  }
+  return reply.status;
+}
+
+void MemoryService::write(std::uint64_t addr, const BitVec& data512,
+                          ClientStats& stats) {
+  BankShard& shard = *shards_[addr % banks()];
+  const std::uint64_t line = addr / banks();
+  MutatorGuard guard(shard);
+  shard.backend->write(line, data512);
+  stats.writes_->inc();
+}
+
+void MemoryService::inject_faults(std::uint32_t bank, const FaultBatch& batch,
+                                  bool scrub_async) {
+  BankShard& shard = *shards_[bank];
+  {
+    MutatorGuard guard(shard);
+    shard.backend->inject(batch);
+  }
+  if (!scrub_async || batch.empty()) return;
+  RepairTask task;
+  task.bank = bank;
+  task.units.reserve(batch.size());
+  for (const auto& [unit, bits] : batch) task.units.push_back(unit);
+  // FaultBatch is an unordered_map; sort so repair order is deterministic.
+  std::sort(task.units.begin(), task.units.end());
+  enqueue(std::move(task));
+}
+
+void MemoryService::scrub_bank_async(std::uint32_t bank) {
+  RepairTask task;
+  task.bank = bank;
+  task.full_sweep = true;
+  enqueue(std::move(task));
+}
+
+std::uint64_t MemoryService::scrub_bank_now(std::uint32_t bank) {
+  BankShard& shard = *shards_[bank];
+  RepairTask task;
+  task.bank = bank;
+  task.full_sweep = true;
+  return execute_scrub(shard, task);
+}
+
+std::uint64_t MemoryService::scrub_units_now(
+    std::uint32_t bank, std::span<const std::uint64_t> units) {
+  BankShard& shard = *shards_[bank];
+  RepairTask task;
+  task.bank = bank;
+  task.units.assign(units.begin(), units.end());
+  return execute_scrub(shard, task);
+}
+
+std::uint64_t MemoryService::execute_scrub(BankShard& shard,
+                                           const RepairTask& task) {
+  MutatorGuard guard(shard);
+  const std::uint64_t scanned =
+      task.full_sweep ? shard.backend->num_units() : task.units.size();
+  const std::uint64_t due = task.full_sweep
+                                ? shard.backend->scrub_all()
+                                : shard.backend->scrub_units(task.units);
+  shard.scrub_units->inc(scanned);
+  shard.scrub_due->inc(due);
+  return due;
+}
+
+void MemoryService::enqueue(RepairTask task) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    queue_.push_back(std::move(task));
+    const auto depth = queue_depth_.fetch_add(1, std::memory_order_relaxed) + 1;
+    auto prev_max = queue_depth_max_.load(std::memory_order_relaxed);
+    while (depth > prev_max && !queue_depth_max_.compare_exchange_weak(
+                                   prev_max, depth, std::memory_order_relaxed)) {
+    }
+  }
+  queue_cv_.notify_one();
+}
+
+void MemoryService::worker_loop(std::uint32_t worker_index) {
+  WorkerState& me = *workers_[worker_index];
+  obs::Counter* tasks = me.registry.counter("service.repair.tasks");
+  obs::Counter* units_scrubbed = me.registry.counter("service.repair.units_scrubbed");
+  obs::Counter* due_units = me.registry.counter("service.repair.due_units");
+  // Power-of-two depth buckets: the depth distribution spans orders of
+  // magnitude under bursty injection.
+  obs::Histogram* depth_hist = me.registry.histogram(
+      "service.repair.queue_depth", {1, 2, 4, 8, 16, 32, 64, 128, 256});
+
+  for (;;) {
+    RepairTask task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      depth_hist->observe(static_cast<double>(queue_.size()));
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      queue_depth_.fetch_sub(1, std::memory_order_relaxed);
+      ++active_tasks_;
+    }
+
+    BankShard& shard = *shards_[task.bank];
+    const std::uint64_t scanned =
+        task.full_sweep ? shard.backend->num_units() : task.units.size();
+    const std::uint64_t due = execute_scrub(shard, task);
+    tasks->inc();
+    units_scrubbed->inc(scanned);
+    due_units->inc(due);
+
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      --active_tasks_;
+      if (queue_.empty() && active_tasks_ == 0) drain_cv_.notify_all();
+    }
+  }
+}
+
+void MemoryService::drain() {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  drain_cv_.wait(lock, [this] { return queue_.empty() && active_tasks_ == 0; });
+}
+
+void MemoryService::merge_metrics_into(obs::MetricsRegistry& out) const {
+  for (const auto& shard : shards_) out += shard->registry;
+  for (const auto& worker : workers_) out += worker->registry;
+}
+
+}  // namespace sudoku::service

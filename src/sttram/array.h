@@ -2,6 +2,15 @@
 // of `bits_per_line` each (553 bits for SuDoku's data+CRC+ECC layout).
 // Storage is a single contiguous word vector (one million 553-bit lines
 // would otherwise mean one million small heap allocations).
+//
+// Word accesses go through relaxed atomics: the concurrent service
+// (src/service) reads lines on a seqlock fast path while a writer or the
+// scrubber may be mutating the same bank, and the epoch re-check discards
+// any torn copy — but the racing loads themselves must still be atomic for
+// the program to be data-race-free (and for TSan to stay quiet). Relaxed
+// 64-bit loads/stores compile to the same plain movs as before on every
+// target we build for, so the single-threaded simulator paths keep their
+// exact behaviour and cost.
 #pragma once
 
 #include <cstdint>
@@ -23,10 +32,11 @@ class SttramArray {
   std::uint32_t bits_per_line() const { return bits_per_line_; }
 
   bool test(std::uint64_t line, std::uint32_t bit) const {
-    return (word(line, bit >> 6) >> (bit & 63)) & 1u;
+    return (load_word(line * words_per_line_ + (bit >> 6)) >> (bit & 63)) & 1u;
   }
   void flip(std::uint64_t line, std::uint32_t bit) {
-    word(line, bit >> 6) ^= std::uint64_t{1} << (bit & 63);
+    const std::uint64_t i = line * words_per_line_ + (bit >> 6);
+    store_word(i, load_word(i) ^ (std::uint64_t{1} << (bit & 63)));
   }
 
   // Copy a stored line out into a BitVec sized bits_per_line().
@@ -34,7 +44,7 @@ class SttramArray {
     if (out.size() != bits_per_line_) out.resize(bits_per_line_);
     auto w = out.words();
     const std::uint64_t base = line * words_per_line_;
-    for (std::uint32_t i = 0; i < words_per_line_; ++i) w[i] = words_[base + i];
+    for (std::uint32_t i = 0; i < words_per_line_; ++i) w[i] = load_word(base + i);
     mask_tail(out);
   }
 
@@ -47,21 +57,21 @@ class SttramArray {
   void write_line(std::uint64_t line, const BitVec& in) {
     auto w = in.words();
     const std::uint64_t base = line * words_per_line_;
-    for (std::uint32_t i = 0; i < words_per_line_; ++i) words_[base + i] = w[i];
+    for (std::uint32_t i = 0; i < words_per_line_; ++i) store_word(base + i, w[i]);
   }
 
   // XOR a stored line into an accumulator (used for parity computation).
   void xor_line_into(std::uint64_t line, BitVec& acc) const {
     auto w = acc.words();
     const std::uint64_t base = line * words_per_line_;
-    for (std::uint32_t i = 0; i < words_per_line_; ++i) w[i] ^= words_[base + i];
+    for (std::uint32_t i = 0; i < words_per_line_; ++i) w[i] ^= load_word(base + i);
   }
 
   bool line_equals(std::uint64_t line, const BitVec& v) const {
     auto w = v.words();
     const std::uint64_t base = line * words_per_line_;
     for (std::uint32_t i = 0; i < words_per_line_; ++i)
-      if (words_[base + i] != w[i]) return false;
+      if (load_word(base + i) != w[i]) return false;
     return true;
   }
 
@@ -73,11 +83,11 @@ class SttramArray {
   std::uint32_t words_per_line_;
   std::vector<std::uint64_t> words_;
 
-  std::uint64_t& word(std::uint64_t line, std::uint32_t wi) {
-    return words_[line * words_per_line_ + wi];
+  std::uint64_t load_word(std::uint64_t i) const {
+    return __atomic_load_n(&words_[i], __ATOMIC_RELAXED);
   }
-  std::uint64_t word(std::uint64_t line, std::uint32_t wi) const {
-    return words_[line * words_per_line_ + wi];
+  void store_word(std::uint64_t i, std::uint64_t v) {
+    __atomic_store_n(&words_[i], v, __ATOMIC_RELAXED);
   }
   void mask_tail(BitVec& v) const {
     const std::uint32_t rem = bits_per_line_ & 63;

@@ -257,5 +257,77 @@ TEST(BenchArgsDeath, UndeclaredExtraFlagStillUnknown) {
               ::testing::ExitedWithCode(2), "unknown argument");
 }
 
+// ---- load-sweep flags (--clients/--banks/--duration-ms) ---------------
+
+int parse_load_and_return(std::initializer_list<const char*> argv_list) {
+  std::vector<const char*> argv(argv_list);
+  bench::BenchArgs::Options opts;
+  opts.threads = false;
+  opts.checkpoint = false;
+  opts.scale = false;
+  opts.load = true;
+  bench::BenchArgs::parse(static_cast<int>(argv.size()),
+                          const_cast<char**>(argv.data()), opts);
+  return 0;
+}
+
+TEST(BenchArgs, ParsesLoadSweepFlags) {
+  const char* argv[] = {"bench", "--clients=8", "--banks=4",
+                        "--duration-ms=250"};
+  bench::BenchArgs::Options opts;
+  opts.load = true;
+  const auto args = bench::BenchArgs::parse(4, const_cast<char**>(argv), opts);
+  EXPECT_EQ(args.clients, 8u);
+  EXPECT_EQ(args.banks, 4u);
+  EXPECT_EQ(args.duration_ms, 250u);
+}
+
+TEST(BenchArgs, LoadSweepFlagsDefaultToZeroMeaningSweep) {
+  const char* argv[] = {"bench"};
+  bench::BenchArgs::Options opts;
+  opts.load = true;
+  const auto args = bench::BenchArgs::parse(1, const_cast<char**>(argv), opts);
+  EXPECT_EQ(args.clients, 0u);
+  EXPECT_EQ(args.banks, 0u);
+  EXPECT_EQ(args.duration_ms, 0u);
+}
+
+TEST(BenchArgsDeath, NonLoadBenchRejectsClients) {
+  EXPECT_EXIT(parse_and_return({"bench", "--clients=8"}),
+              ::testing::ExitedWithCode(2),
+              "--clients is not supported by this bench");
+}
+
+TEST(BenchArgsDeath, NonLoadBenchRejectsBanksAndDuration) {
+  EXPECT_EXIT(parse_and_return({"bench", "--banks=4"}),
+              ::testing::ExitedWithCode(2),
+              "--banks is not supported by this bench");
+  EXPECT_EXIT(parse_and_return({"bench", "--duration-ms=100"}),
+              ::testing::ExitedWithCode(2),
+              "--duration-ms is not supported by this bench");
+}
+
+TEST(BenchArgsDeath, MalformedClientsExitsTwo) {
+  EXPECT_EXIT(parse_load_and_return({"bench", "--clients=abc"}),
+              ::testing::ExitedWithCode(2), "invalid value for --clients");
+}
+
+// A zero-client or zero-bank service measures nothing: explicit 0 is an
+// error, not "use the default".
+TEST(BenchArgsDeath, ExplicitZeroClientsExitsTwo) {
+  EXPECT_EXIT(parse_load_and_return({"bench", "--clients=0"}),
+              ::testing::ExitedWithCode(2), "out of range for --clients");
+}
+
+TEST(BenchArgsDeath, ExplicitZeroBanksExitsTwo) {
+  EXPECT_EXIT(parse_load_and_return({"bench", "--banks=0"}),
+              ::testing::ExitedWithCode(2), "out of range for --banks");
+}
+
+TEST(BenchArgsDeath, OverflowDurationExitsTwo) {
+  EXPECT_EXIT(parse_load_and_return({"bench", "--duration-ms=4294967296"}),
+              ::testing::ExitedWithCode(2), "out of range for --duration-ms");
+}
+
 }  // namespace
 }  // namespace sudoku::exp

@@ -84,6 +84,94 @@ TEST(Histogram, NegativeAndExtremeValues) {
   EXPECT_DOUBLE_EQ(h.max(), 1e300);
 }
 
+// percentile() interpolates linearly inside the crossing bucket, so it is
+// exact where the cumulative distribution touches a bucket edge.
+TEST(Histogram, PercentileExactAtBucketEdges) {
+  Histogram h({10.0, 20.0, 30.0});
+  // 10 observations in [10,20), 10 in [20,30): the CDF reaches 0.5 exactly
+  // at edge 20 and 1.0 at edge 30.
+  for (int i = 0; i < 10; ++i) h.observe(12.0);
+  for (int i = 0; i < 10; ++i) h.observe(25.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 20.0);
+  // Interior quantiles interpolate: 0.25 is halfway through bucket [10,20).
+  EXPECT_DOUBLE_EQ(h.percentile(0.25), 15.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.75), 25.0);
+}
+
+TEST(Histogram, PercentileClampsToObservedRange) {
+  Histogram h({10.0, 20.0});
+  h.observe(14.0);
+  h.observe(16.0);
+  // q=0/1 return the tracked extremes, and no interior quantile can leave
+  // [min, max] even though the bucket spans [10, 20).
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 14.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 16.0);
+  EXPECT_GE(h.percentile(0.01), 14.0);
+  EXPECT_LE(h.percentile(0.99), 16.0);
+}
+
+TEST(Histogram, PercentileOpenEndedBucketsUseTrackedExtremes) {
+  Histogram h({10.0, 20.0});
+  // All mass in the overflow bucket [20, inf): its missing right boundary
+  // is the tracked max, so quantiles interpolate over [20, 100].
+  h.observe(20.0);
+  h.observe(100.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 60.0);
+  // All mass in underflow (-inf, 10): left boundary is the tracked min.
+  Histogram u({10.0, 20.0});
+  u.observe(2.0);
+  u.observe(6.0);
+  EXPECT_DOUBLE_EQ(u.percentile(0.5), 6.0);  // min + (10-min)/2
+  EXPECT_DOUBLE_EQ(u.percentile(1.0), 6.0);
+}
+
+TEST(Histogram, PercentileEmptyReturnsZero) {
+  Histogram h({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+  const HistogramSummary s = h.summary();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.p50, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+}
+
+TEST(Histogram, SummaryMatchesPercentiles) {
+  Histogram h({1.0, 2.0, 4.0, 8.0});
+  for (int i = 0; i < 1000; ++i) h.observe(1.5);
+  h.observe(7.0);
+  const HistogramSummary s = h.summary();
+  EXPECT_EQ(s.count, 1001u);
+  EXPECT_DOUBLE_EQ(s.p50, h.percentile(0.5));
+  EXPECT_DOUBLE_EQ(s.p99, h.percentile(0.99));
+  EXPECT_DOUBLE_EQ(s.p999, h.percentile(0.999));
+  EXPECT_DOUBLE_EQ(s.max, 7.0);
+  // The single outlier only surfaces past p999's crossing point.
+  EXPECT_LT(s.p99, 2.0);
+}
+
+// Quantiles of shard-merged registries must equal quantiles of the union
+// of observations — the property the service relies on when it merges
+// per-client latency histograms.
+TEST(Histogram, MergedShardsGiveSameQuantilesAsUnion) {
+  const std::vector<double> edges{10.0, 20.0, 40.0, 80.0};
+  MetricsRegistry a, b, whole;
+  Histogram* ha = a.histogram("lat", edges);
+  Histogram* hb = b.histogram("lat", edges);
+  Histogram* hw = whole.histogram("lat", edges);
+  for (int i = 0; i < 100; ++i) {
+    const double v = 10.0 + static_cast<double>(i);
+    ((i % 2) ? ha : hb)->observe(v);
+    hw->observe(v);
+  }
+  MetricsRegistry merged;
+  merged += a;
+  merged += b;
+  const Histogram* hm = merged.find_histogram("lat");
+  ASSERT_NE(hm, nullptr);
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(hm->percentile(q), hw->percentile(q)) << q;
+  }
+}
+
 TEST(HistogramDeathTest, RejectsBadEdges) {
   EXPECT_DEATH(Histogram(std::vector<double>{}), "edges");
   EXPECT_DEATH(Histogram({2.0, 1.0}), "ascending");
