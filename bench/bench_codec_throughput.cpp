@@ -1,10 +1,15 @@
 // Microbenchmarks of the coding substrate, tracking the word-at-a-time
-// kernel speedups (docs/perf.md) as an artifact: bit-serial vs byte-table
-// vs slicing-by-8 CRC-31, reference vs parity-mask Hamming syndrome, and
-// reference vs per-word Horner BCH syndromes for ECC-2..6 plus the Hi-ECC
-// geometry. Contextual for §II-D's point that multi-bit ECC decoders are
-// far more expensive than ECC-1 + CRC: the BCH decode cost grows with k
-// while the SuDoku fast path stays flat.
+// and batch kernel speedups (docs/perf.md) as an artifact: bit-serial vs
+// byte-table vs slicing-by-8 vs PCLMUL CRC-31, reference vs parity-mask
+// vs bit-sliced Hamming syndrome, and reference vs per-word Horner vs
+// bit-sliced batch BCH syndromes for ECC-2..6 plus the Hi-ECC geometry.
+// Contextual for §II-D's point that multi-bit ECC decoders are far more
+// expensive than ECC-1 + CRC: the BCH decode cost grows with k while the
+// SuDoku fast path stays flat.
+//
+// Batch rows stream kStreamLines codewords through BitPlanes batches of
+// 64 — including a partial final batch, whose payload is charged at its
+// *actual* width (bench::batched_items), not the nominal 64.
 //
 // Ported onto the shared BenchArgs command line and ResultSink artifact
 // plumbing (bench/out/codec_throughput.json) so the kernel throughput is
@@ -16,6 +21,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "codes/batch_codec.h"
 #include "codes/bch.h"
 #include "codes/crc31.h"
 #include "codes/hamming.h"
@@ -65,13 +71,30 @@ Measurement time_kernel(std::size_t payload_bits, std::uint64_t min_iters,
 struct Row {
   std::string code, kernel;
   Measurement m;
-  double speedup = 1.0;  // vs the row's reference kernel
+  double speedup = 1.0;           // vs the row's bit-serial reference kernel
+  double speedup_vs_per_line = 0;  // batch rows: vs the per-line fast kernel
 };
 
 void print_row(const Row& r) {
-  std::printf("  %-28s %-22s %9.1f MB/s   %6.2fx\n", r.code.c_str(), r.kernel.c_str(),
+  std::printf("  %-28s %-22s %9.1f MB/s   %6.2fx", r.code.c_str(), r.kernel.c_str(),
               r.m.mb_per_s, r.speedup);
+  if (r.speedup_vs_per_line > 0) {
+    std::printf("   (%.2fx vs per-line)", r.speedup_vs_per_line);
+  }
+  std::printf("\n");
 }
+
+// Stream of `lines` random codewords of `nbits` for the batch rows.
+std::vector<BitVec> random_stream(std::size_t lines, std::size_t nbits, Rng& rng) {
+  std::vector<BitVec> stream(lines);
+  for (auto& cw : stream) cw = random_bits(nbits, rng);
+  return stream;
+}
+
+// Lines the batch rows stream per timed op: three full 64-line batches
+// plus a partial 8-line tail, so the partial-batch payload accounting is
+// exercised on every iteration.
+constexpr std::uint64_t kStreamLines = 200;
 
 }  // namespace
 
@@ -100,11 +123,19 @@ int main(int argc, char** argv) {
     const Measurement bytewise = time_kernel(
         512, base_iters, [&] { sink = crc.compute_bytewise(data, 512); });
     const Measurement slicing =
-        time_kernel(512, base_iters, [&] { sink = crc.compute(data, 512); });
+        time_kernel(512, base_iters, [&] { sink = crc.compute_slicing8(data, 512); });
+    // The CLMUL row is emitted on every host (stable artifact structure);
+    // without pclmulqdq it records zero throughput instead of timing a
+    // different kernel under the clmul name.
+    Measurement clmul;
+    if (Crc31::clmul_supported()) {
+      clmul = time_kernel(512, base_iters, [&] { sink = crc.compute_clmul(data, 512); });
+    }
     (void)sink;
     rows.push_back({"crc31", "bit_serial", serial, 1.0});
     rows.push_back({"crc31", "byte_table", bytewise, bytewise.mb_per_s / serial.mb_per_s});
     rows.push_back({"crc31", "slicing_by_8", slicing, slicing.mb_per_s / serial.mb_per_s});
+    rows.push_back({"crc31", "clmul", clmul, clmul.mb_per_s / serial.mb_per_s});
   }
 
   // ---- Hamming ECC-1 syndrome + decode over the 553-bit line ----
@@ -135,6 +166,31 @@ int main(int argc, char** argv) {
                     dec_clean.mb_per_s / ref.mb_per_s});
     rows.push_back({"hamming_543", "decode_one_error", dec_err,
                     dec_err.mb_per_s / ref.mb_per_s});
+
+    // Bit-sliced batch syndrome over a 200-line stream (64-line batches +
+    // partial tail), including the transpose.
+    const auto stream = random_stream(kStreamLines, 553, rng);
+    BitPlanes planes;
+    volatile std::uint64_t zsink = 0;
+    const std::uint64_t nb = bench::batch_count(kStreamLines, BitPlanes::kMaxLines);
+    const std::uint64_t actual_lines =
+        bench::batched_items(kStreamLines, BitPlanes::kMaxLines, nb);
+    const Measurement batch = time_kernel(actual_lines * 553, base_iters / 64, [&] {
+      std::uint64_t z = 0;
+      for (std::uint64_t b = 0; b < nb; ++b) {
+        const std::uint64_t w = bench::batch_width(kStreamLines, BitPlanes::kMaxLines, b);
+        planes.reset(553, w);
+        for (std::uint64_t i = 0; i < w; ++i) {
+          planes.load_line(i, stream[b * BitPlanes::kMaxLines + i].words());
+        }
+        planes.finalize();
+        z ^= h.batch_syndromes_zero(planes);
+      }
+      zsink = z;
+    });
+    (void)zsink;
+    rows.push_back({"hamming_543", "batch_sliced", batch,
+                    batch.mb_per_s / ref.mb_per_s, batch.mb_per_s / fast.mb_per_s});
   }
 
   // ---- BCH ECC-t syndromes (t = 2..6, the baseline strengths) ----
@@ -164,6 +220,29 @@ int main(int argc, char** argv) {
     });
     rows.push_back({code, "clean_check_via_decode", old_clean,
                     old_clean.mb_per_s / ref.mb_per_s});
+
+    const auto stream = random_stream(kStreamLines, n, rng);
+    BitPlanes planes;
+    volatile std::uint64_t zsink = 0;
+    const std::uint64_t nb = bench::batch_count(kStreamLines, BitPlanes::kMaxLines);
+    const std::uint64_t actual_lines =
+        bench::batched_items(kStreamLines, BitPlanes::kMaxLines, nb);
+    const Measurement batch = time_kernel(actual_lines * n, base_iters / 64, [&] {
+      std::uint64_t z = 0;
+      for (std::uint64_t b = 0; b < nb; ++b) {
+        const std::uint64_t w = bench::batch_width(kStreamLines, BitPlanes::kMaxLines, b);
+        planes.reset(n, w);
+        for (std::uint64_t i = 0; i < w; ++i) {
+          planes.load_line(i, stream[b * BitPlanes::kMaxLines + i].words());
+        }
+        planes.finalize();
+        z ^= bch.batch_syndromes_zero(planes);
+      }
+      zsink = z;
+    });
+    (void)zsink;
+    rows.push_back({code, "batch_sliced", batch, batch.mb_per_s / ref.mb_per_s,
+                    batch.mb_per_s / fast.mb_per_s});
   }
 
   // ---- Hi-ECC geometry: ECC-6 over 1 KB (m = 14) ----
@@ -184,6 +263,31 @@ int main(int argc, char** argv) {
     rows.push_back({"bch_hiecc_m14_t6", "syndromes_reference", ref, 1.0});
     rows.push_back({"bch_hiecc_m14_t6", "syndromes_word_horner", fast,
                     fast.mb_per_s / ref.mb_per_s});
+
+    const auto stream = random_stream(kStreamLines, n, rng);
+    BitPlanes planes;
+    volatile std::uint64_t zsink = 0;
+    const std::uint64_t nb = bench::batch_count(kStreamLines, BitPlanes::kMaxLines);
+    const std::uint64_t actual_lines =
+        bench::batched_items(kStreamLines, BitPlanes::kMaxLines, nb);
+    const Measurement batch =
+        time_kernel(actual_lines * n, base_iters / 256, [&] {
+          std::uint64_t z = 0;
+          for (std::uint64_t b = 0; b < nb; ++b) {
+            const std::uint64_t w =
+                bench::batch_width(kStreamLines, BitPlanes::kMaxLines, b);
+            planes.reset(n, w);
+            for (std::uint64_t i = 0; i < w; ++i) {
+              planes.load_line(i, stream[b * BitPlanes::kMaxLines + i].words());
+            }
+            planes.finalize();
+            z ^= bch.batch_syndromes_zero(planes);
+          }
+          zsink = z;
+        });
+    (void)zsink;
+    rows.push_back({"bch_hiecc_m14_t6", "batch_sliced", batch,
+                    batch.mb_per_s / ref.mb_per_s, batch.mb_per_s / fast.mb_per_s});
   }
 
   exp::JsonArray json_rows;
@@ -196,7 +300,8 @@ int main(int argc, char** argv) {
         .set("iters", r.m.iters)
         .set("seconds", r.m.seconds)
         .set("mb_per_s", r.m.mb_per_s)
-        .set("speedup_vs_reference", r.speedup);
+        .set("speedup_vs_reference", r.speedup)
+        .set("speedup_vs_per_line", r.speedup_vs_per_line);
     json_rows.push(row);
   }
   stats.wall_seconds = std::chrono::duration<double>(

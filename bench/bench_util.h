@@ -47,6 +47,36 @@ inline std::string fixed(double v, int digits) {
   return buf;
 }
 
+// Batch-sweep accounting helpers. A stream of `items` units consumed
+// `batch` at a time ends with a partial batch of items % batch units
+// (when that is nonzero); throughput numbers must charge each batch its
+// *actual* width — crediting the nominal `batch` to a partial tail
+// overstates the processed payload. Regression-tested in
+// tests/test_bench_util.cpp.
+inline std::uint64_t batch_count(std::uint64_t items, std::uint64_t batch) {
+  return batch == 0 ? 0 : (items + batch - 1) / batch;
+}
+
+// Width of batch `index` (0-based): `batch` for all but a partial final
+// batch, 0 past the end.
+inline std::uint64_t batch_width(std::uint64_t items, std::uint64_t batch,
+                                 std::uint64_t index) {
+  if (batch == 0) return 0;
+  const std::uint64_t start = index * batch;
+  if (start >= items) return 0;
+  return items - start < batch ? items - start : batch;
+}
+
+// Total units actually processed by batches [0, nbatches): min(items,
+// nbatches*batch). This is the payload a batched kernel timed over
+// `nbatches` batches really touched.
+inline std::uint64_t batched_items(std::uint64_t items, std::uint64_t batch,
+                                   std::uint64_t nbatches) {
+  std::uint64_t total = 0;
+  for (std::uint64_t b = 0; b < nbatches; ++b) total += batch_width(items, batch, b);
+  return total;
+}
+
 // Shared command line for the artifact-emitting benches:
 //   --threads=N       pool width (0 = one per hardware thread)
 //   --seed=S          base seed (0 = keep the bench's built-in default)

@@ -68,7 +68,7 @@ table10_delta       . . .
 table11_baselines   T . .
 table12_hiecc       . . .
 correction_latency  . . .
-codec_throughput    . slow result.rows[*].iters,result.rows[*].seconds,result.rows[*].mb_per_s,result.rows[*].speedup_vs_reference
+codec_throughput    . slow result.rows[*].iters,result.rows[*].seconds,result.rows[*].mb_per_s,result.rows[*].speedup_vs_reference,result.rows[*].speedup_vs_per_line
 montecarlo_validation T . .
 ablation_group_size . . .
 ablation_features   T . .

@@ -1,5 +1,7 @@
 #include "baselines/ecck_cache.h"
 
+#include "baselines/batch_scrub.h"
+
 namespace sudoku::baselines {
 
 EccKCache::EccKCache(std::uint64_t num_lines, int k)
@@ -22,25 +24,9 @@ void EccKCache::format_random(Rng& rng) {
 }
 
 BaselineStats EccKCache::scrub_units(std::span<const std::uint64_t> units) {
-  BaselineStats stats;
-  BitVec cw(bch_.codeword_bits());
-  for (const auto line : units) {
-    array_.read_line(line, cw);
-    const auto res = bch_.decode(cw);
-    switch (res.status) {
-      case Bch::DecodeStatus::kClean:
-        break;
-      case Bch::DecodeStatus::kCorrected:
-        array_.write_line(line, cw);  // note: may be a miscorrection (SDC)
-        ++stats.corrected;
-        break;
-      case Bch::DecodeStatus::kUncorrectable:
-        ++stats.due_units;
-        stats.due_unit_ids.push_back(line);
-        break;
-    }
-  }
-  return stats;
+  // Batched syndromes + decode_with_syndromes (bit-identical to per-line
+  // decode); break-even width from docs/perf.md.
+  return batch_scrub_bch(bch_, array_, units, /*min_batch=*/12);
 }
 
 void EccKCache::restore_unit(std::uint64_t unit, const BitVec& golden_stored) {

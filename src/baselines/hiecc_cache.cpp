@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "baselines/batch_scrub.h"
+
 namespace sudoku::baselines {
 
 HiEccCache::HiEccCache(std::uint64_t num_lines, int t)
@@ -28,25 +30,10 @@ void HiEccCache::format_random(Rng& rng) {
 }
 
 BaselineStats HiEccCache::scrub_units(std::span<const std::uint64_t> units) {
-  BaselineStats stats;
-  BitVec cw(bch_.codeword_bits());
-  for (const auto region : units) {
-    array_.read_line(region, cw);
-    const auto res = bch_.decode(cw);
-    switch (res.status) {
-      case Bch::DecodeStatus::kClean:
-        break;
-      case Bch::DecodeStatus::kCorrected:
-        array_.write_line(region, cw);
-        ++stats.corrected;
-        break;
-      case Bch::DecodeStatus::kUncorrectable:
-        ++stats.due_units;
-        stats.due_unit_ids.push_back(region);
-        break;
-    }
-  }
-  return stats;
+  // Region decode hook, batched: syndromes for up to 64 regions run
+  // bit-sliced, then each dirty region goes through
+  // decode_with_syndromes — identical outcomes to per-region decode().
+  return batch_scrub_bch(bch_, array_, units, /*min_batch=*/12);
 }
 
 void HiEccCache::restore_unit(std::uint64_t unit, const BitVec& golden_stored) {

@@ -1,0 +1,62 @@
+#include "codes/batch_codec.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace sudoku {
+
+void transpose64(std::uint64_t m[64]) {
+  // Masked-shift block transpose (Hacker's Delight 7-3, adapted to the
+  // LSB-first convention used by BitVec words): at step j, swap bit b of
+  // word r with bit b+j of word r+j for every (r, b) whose j-bit is zero.
+  // log2(64) = 6 passes of 32 swap groups each.
+  std::uint64_t mask = 0x00000000FFFFFFFFull;
+  for (unsigned j = 32; j != 0; j >>= 1, mask ^= mask << j) {
+    for (unsigned k = 0; k < 64; k = (k + j + 1) & ~j) {
+      const std::uint64_t t = ((m[k] >> j) ^ m[k + j]) & mask;
+      m[k] ^= t << j;
+      m[k + j] ^= t;
+    }
+  }
+}
+
+void BitPlanes::reset(std::size_t nbits, std::size_t count) {
+  assert(nbits > 0);
+  assert(count >= 1 && count <= kMaxLines);
+  nbits_ = nbits;
+  count_ = count;
+  words_per_line_ = (nbits + 63) / 64;
+  finalized_ = false;
+  const std::size_t staged = kMaxLines * words_per_line_;
+  if (staging_.size() < staged) staging_.resize(staged);
+  std::memset(staging_.data(), 0, staged * sizeof(std::uint64_t));
+  const std::size_t plane_words = words_per_line_ * 64;
+  if (planes_.size() < plane_words) planes_.resize(plane_words);
+}
+
+void BitPlanes::load_line(std::size_t slot, std::span<const std::uint64_t> words) {
+  assert(slot < count_);
+  assert(!finalized_);
+  const std::size_t n = std::min(words.size(), words_per_line_);
+  std::memcpy(staging_.data() + slot * words_per_line_, words.data(),
+              n * sizeof(std::uint64_t));
+}
+
+void BitPlanes::finalize() {
+  assert(!finalized_);
+  // Gather each 64-bit column block across the 64 staged lines and
+  // transpose it in place: block w's output word b is the plane for
+  // codeword bit 64*w + b.
+  std::uint64_t block[64];
+  for (std::size_t w = 0; w < words_per_line_; ++w) {
+    const std::uint64_t* col = staging_.data() + w;
+    for (std::size_t line = 0; line < kMaxLines; ++line) {
+      block[line] = col[line * words_per_line_];
+    }
+    transpose64(block);
+    std::memcpy(planes_.data() + w * 64, block, sizeof(block));
+  }
+  finalized_ = true;
+}
+
+}  // namespace sudoku

@@ -136,9 +136,107 @@ std::vector<std::uint32_t> Bch::syndromes_reference(const BitVec& codeword) cons
   return s;
 }
 
+void Bch::build_slice_program() const {
+  // Flattened per-position accumulator lists: plane i is XORed into the
+  // accumulator word for (odd syndrome j = 2o+1, field bit b) iff bit b
+  // of alpha^(j*(n-1-i)) is set. Only odd syndromes are accumulated: in a
+  // binary BCH code S_2j = S_j^2 (squaring is linear over GF(2), and the
+  // received word has 0/1 coefficients), so every even syndrome is an
+  // exact field squaring of an earlier one — computed per line at
+  // extraction time. That halves the program, which is what the
+  // memory-bound Hi-ECC accumulation is limited by. Weights come straight
+  // from the field's antilog table rather than the word-Horner weight
+  // rows, so the two kernels fail independently under the differential
+  // tests.
+  slice_->off.assign(n_ + 1, 0);
+  std::vector<std::uint16_t> idx;
+  idx.reserve(n_ * static_cast<std::size_t>(t_) * static_cast<std::size_t>(m_) / 2);
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (int o = 0; o < t_; ++o) {
+      const int j = 2 * o + 1;
+      const std::uint32_t w = field_.alpha_pow(
+          static_cast<std::uint64_t>(j) * static_cast<std::uint64_t>(n_ - 1 - i));
+      for (int b = 0; b < m_; ++b) {
+        if ((w >> b) & 1u) {
+          idx.push_back(static_cast<std::uint16_t>(o * m_ + b));
+        }
+      }
+    }
+    slice_->off[i + 1] = static_cast<std::uint32_t>(idx.size());
+  }
+  slice_->idx = std::move(idx);
+}
+
+void Bch::accumulate_planes(const BitPlanes& planes, std::uint64_t* acc) const {
+  assert(planes.nbits() == n_);
+  std::call_once(slice_->once, [this] { build_slice_program(); });
+  const std::size_t nacc = static_cast<std::size_t>(t_) * m_;
+  assert(nacc <= 6 * 14);  // accumulator arrays are sized for t<=6, m<=14
+  std::fill(acc, acc + nacc, 0);
+  const std::uint64_t* plane = planes.planes().data();
+  const std::uint16_t* prog = slice_->idx.data();
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::uint64_t p = plane[i];
+    const std::uint16_t* end = slice_->idx.data() + slice_->off[i + 1];
+    if (p == 0) {
+      prog = end;  // all-zero planes (e.g. short batches) cost nothing
+      continue;
+    }
+    for (; prog != end; ++prog) acc[*prog] ^= p;
+  }
+}
+
+void Bch::batch_syndromes(const BitPlanes& planes, std::uint32_t* out) const {
+  // acc[o*m + b] bit L = bit b of slot L's odd syndrome S_{2o+1};
+  // gathering a line's odd syndromes is t*m single-bit reads and the even
+  // ones are one field squaring each (S_2j = S_j^2, exact) — cheap next
+  // to the n-long accumulation the batch just amortised 64 ways.
+  std::uint64_t acc[6 * 14];  // max t = 6, max m = 14
+  accumulate_planes(planes, acc);
+  const std::size_t nsyn = static_cast<std::size_t>(2 * t_);
+  for (std::size_t line = 0; line < planes.count(); ++line) {
+    std::uint32_t* s = out + line * nsyn;
+    for (std::size_t j = 1; j <= nsyn; ++j) {
+      if (j % 2 == 1) {
+        std::uint32_t v = 0;
+        const std::uint64_t* a = acc + (j / 2) * m_;
+        for (int b = 0; b < m_; ++b) {
+          v |= static_cast<std::uint32_t>((a[b] >> line) & 1u) << b;
+        }
+        s[j - 1] = v;
+      } else {
+        s[j - 1] = field_.mul(s[j / 2 - 1], s[j / 2 - 1]);
+      }
+    }
+  }
+}
+
+std::uint64_t Bch::batch_syndromes_zero(const BitPlanes& planes) const {
+  // Every even syndrome is a power-of-two Frobenius image of an odd one
+  // (S_2j = S_j^2), so all 2t syndromes are zero iff the t odd ones are.
+  std::uint64_t acc[6 * 14];
+  accumulate_planes(planes, acc);
+  std::uint64_t dirty = 0;
+  const std::size_t nacc = static_cast<std::size_t>(t_) * m_;
+  for (std::size_t a = 0; a < nacc; ++a) dirty |= acc[a];
+  return ~dirty & planes.lane_mask();
+}
+
 Bch::DecodeResult Bch::decode(BitVec& codeword) const {
   assert(codeword.size() == n_);
   const auto s = syndromes(codeword);
+  return locate_and_correct(codeword, s);
+}
+
+Bch::DecodeResult Bch::decode_with_syndromes(BitVec& codeword,
+                                             std::span<const std::uint32_t> s) const {
+  assert(codeword.size() == n_);
+  assert(s.size() == static_cast<std::size_t>(2 * t_));
+  return locate_and_correct(codeword, s);
+}
+
+Bch::DecodeResult Bch::locate_and_correct(BitVec& codeword,
+                                          std::span<const std::uint32_t> s) const {
   if (std::all_of(s.begin(), s.end(), [](std::uint32_t v) { return v == 0; })) {
     return {DecodeStatus::kClean, 0};
   }

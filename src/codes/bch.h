@@ -11,8 +11,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <span>
 #include <vector>
 
+#include "codes/batch_codec.h"
 #include "common/bitvec.h"
 #include "codes/gf2m.h"
 
@@ -45,6 +48,13 @@ class Bch {
 
   DecodeResult decode(BitVec& codeword) const;
 
+  // decode() with the power-sum syndromes already in hand (e.g. from
+  // batch_syndromes). Given the same syndrome values, the correction and
+  // status are identical to decode() — the batched scrub paths rely on
+  // that to stay bit-identical to the per-line code.
+  DecodeResult decode_with_syndromes(BitVec& codeword,
+                                     std::span<const std::uint32_t> s) const;
+
   // Power-sum syndromes S_1..S_2t of a (possibly corrupted) codeword.
   // Word-at-a-time Horner: per backing word, one multiply by alpha^(64·j)
   // plus an XOR of a precomputed weight per set bit, instead of one field
@@ -60,6 +70,18 @@ class Bch {
   // early exit — the scrub fast path for clean lines, which no longer
   // copies the codeword through a trial decode.
   bool syndromes_zero(const BitVec& codeword) const;
+
+  // --- bit-sliced batch kernels (the BatchCodec engine, docs/perf.md) ---
+  // All of a transposed batch's syndromes at once: `out` receives
+  // planes.count() rows of 2t values, row L = the syndromes of the
+  // codeword staged in slot L, identical to syndromes() on that codeword.
+  // planes.nbits() must equal codeword_bits().
+  void batch_syndromes(const BitPlanes& planes, std::uint32_t* out) const;
+
+  // Bit L of the result is set iff slot L's syndromes are all zero — the
+  // batched clean check (one word XOR per accumulator touch for all 64
+  // lines together, no per-line extraction).
+  std::uint64_t batch_syndromes_zero(const BitPlanes& planes) const;
 
  private:
   int m_;
@@ -97,6 +119,34 @@ class Bch {
   }
 
   std::uint32_t syndrome_one(const BitVec& codeword, int j0) const;
+
+  // BM + Chien shared by decode() and decode_with_syndromes().
+  DecodeResult locate_and_correct(BitVec& codeword,
+                                  std::span<const std::uint32_t> s) const;
+
+  // Bit-slice program, built lazily on first batch call (the Hi-ECC
+  // geometry's program is ~0.7 MB — per-line users never pay for it).
+  // For codeword position i, entries [off[i], off[i+1]) name the
+  // accumulator words (odd syndrome j = 2o+1, field bit b -> o*m + b)
+  // that plane i is XORed into: exactly the set bits of alpha^(j*(n-1-i))
+  // for each odd j. Even syndromes are exact field squarings (S_2j =
+  // S_j^2 in a binary BCH code) applied per line at extraction — halving
+  // the program the accumulation streams through. Weights are computed
+  // directly from the field's antilog table so the batch path shares no
+  // derived tables with the word-Horner kernel (independent
+  // implementations for the differential tests). Heap-held so the
+  // once_flag doesn't cost Bch its move constructor.
+  struct SliceProgram {
+    std::once_flag once;
+    std::vector<std::uint32_t> off;  // n_ + 1 offsets
+    std::vector<std::uint16_t> idx;
+  };
+  void build_slice_program() const;
+  std::unique_ptr<SliceProgram> slice_ = std::make_unique<SliceProgram>();
+
+  // Run the slice program over a finalized batch: acc[j0*m + b] bit L =
+  // bit b of slot L's syndrome S_{j0+1}.
+  void accumulate_planes(const BitPlanes& planes, std::uint64_t* acc) const;
 };
 
 }  // namespace sudoku

@@ -1,6 +1,10 @@
 #include "codes/crc31.h"
 
+#include <atomic>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "codes/gf2poly.h"
 
@@ -15,7 +19,73 @@ std::uint8_t bitrev8(std::uint8_t b) {
   return b;
 }
 
+std::uint64_t bitrev64(std::uint64_t v) {
+  std::uint64_t r = 0;
+  for (int i = 0; i < 8; ++i) {
+    r = (r << 8) | bitrev8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  return r;
+}
+
+// Active kernel, process-wide. -1 = not yet resolved (first compute() or
+// active_kernel() call reads SUDOKU_CRC31_KERNEL and picks the default).
+std::atomic<int> g_crc_kernel{-1};
+
 }  // namespace
+
+const char* to_string(CrcKernel k) {
+  switch (k) {
+    case CrcKernel::kAuto: return "auto";
+    case CrcKernel::kBitSerial: return "bit_serial";
+    case CrcKernel::kByteTable: return "byte_table";
+    case CrcKernel::kSlicing8: return "slicing8";
+    case CrcKernel::kClmul: return "clmul";
+  }
+  return "?";
+}
+
+CrcKernel Crc31::kernel_from_name(const char* name) {
+  if (name != nullptr) {
+    for (const auto k : {CrcKernel::kAuto, CrcKernel::kBitSerial,
+                         CrcKernel::kByteTable, CrcKernel::kSlicing8,
+                         CrcKernel::kClmul}) {
+      if (std::strcmp(name, to_string(k)) == 0) return k;
+    }
+  }
+  // A typo must not silently fall back to a different kernel: the bench
+  // records and the dispatch tests both depend on getting exactly the
+  // kernel they named.
+  std::fprintf(stderr,
+               "Crc31: unknown CRC-31 kernel '%s' (valid: auto, bit_serial, "
+               "byte_table, slicing8, clmul)\n",
+               name == nullptr ? "(null)" : name);
+  std::abort();
+}
+
+void Crc31::force_kernel(CrcKernel k) {
+  if (k == CrcKernel::kAuto) {
+    k = clmul_supported() ? CrcKernel::kClmul : CrcKernel::kSlicing8;
+  } else if (k == CrcKernel::kClmul && !clmul_supported()) {
+    std::fprintf(stderr,
+                 "Crc31: clmul kernel requested but not available on this "
+                 "build/CPU\n");
+    std::abort();
+  }
+  g_crc_kernel.store(static_cast<int>(k), std::memory_order_relaxed);
+}
+
+CrcKernel Crc31::active_kernel() {
+  int k = g_crc_kernel.load(std::memory_order_relaxed);
+  if (k < 0) {
+    // First use: honour the environment override, else pick the fastest.
+    // Concurrent first calls race benignly — both resolve the same value.
+    force_kernel(kernel_from_name(std::getenv("SUDOKU_CRC31_KERNEL") != nullptr
+                                      ? std::getenv("SUDOKU_CRC31_KERNEL")
+                                      : "auto"));
+    k = g_crc_kernel.load(std::memory_order_relaxed);
+  }
+  return static_cast<CrcKernel>(k);
+}
 
 std::uint64_t Crc31::canonical_generator() {
   // (x+1) * (smallest primitive polynomial of degree 30). Computed once;
@@ -78,22 +148,33 @@ void Crc31::build_slices() {
       fold_[j][b] = v;
     }
   }
+  // CLMUL folding constants (always derived — a few microseconds — so the
+  // kernel can be force-selected at any time). With BitVec words in
+  // reflected bit order, clmul(refl(A), refl(B)) = refl(A·B·x), so to
+  // multiply a lane by x^e (mod-congruent) the constant must be
+  // refl(x^(e-1) mod g): e = 192 advances the high-degree lane of a
+  // 128-bit state over one 128-bit chunk, e = 128 the low-degree lane.
+  clmul_fold_[0] = bitrev64(gf2::pow_x_mod(191, poly_));
+  clmul_fold_[1] = bitrev64(gf2::pow_x_mod(127, poly_));
 }
 
 std::uint32_t Crc31::compute(const BitVec& bits, std::size_t nbits) const {
-  assert(nbits <= bits.size());
-  std::uint32_t reg = 0;
+  switch (active_kernel()) {
+    case CrcKernel::kBitSerial: return compute_bitserial(bits, nbits);
+    case CrcKernel::kByteTable: return compute_bytewise(bits, nbits);
+    case CrcKernel::kClmul: return compute_clmul(bits, nbits);
+    default: return compute_slicing8(bits, nbits);
+  }
+}
+
+std::uint32_t Crc31::finish_scalar(std::uint32_t reg, const BitVec& bits,
+                                   std::size_t from, std::size_t nbits) const {
+  assert(from % 64 == 0 && from <= nbits);
   // Bulk: one 64-bit message word per step, straight off the backing words.
   const std::size_t whole_words = nbits / 64;
   const auto words = bits.words();
-  for (std::size_t wi = 0; wi < whole_words; ++wi) {
-    const std::uint64_t w = words[wi];
-    reg = fold_[0][reg & 0xFFu] ^ fold_[1][(reg >> 8) & 0xFFu] ^
-          fold_[2][(reg >> 16) & 0xFFu] ^ fold_[3][(reg >> 24) & 0xFFu] ^
-          slice_[7][w & 0xFFu] ^ slice_[6][(w >> 8) & 0xFFu] ^
-          slice_[5][(w >> 16) & 0xFFu] ^ slice_[4][(w >> 24) & 0xFFu] ^
-          slice_[3][(w >> 32) & 0xFFu] ^ slice_[2][(w >> 40) & 0xFFu] ^
-          slice_[1][(w >> 48) & 0xFFu] ^ slice_[0][(w >> 56) & 0xFFu];
+  for (std::size_t wi = from / 64; wi < whole_words; ++wi) {
+    reg = word_step(reg, words[wi]);
   }
   std::size_t i = whole_words * 64;
   // Tail: whole bytes through the byte table, then bit-serial.
@@ -111,6 +192,11 @@ std::uint32_t Crc31::compute(const BitVec& bits, std::size_t nbits) const {
     if (fold) reg ^= low;
   }
   return reg;
+}
+
+std::uint32_t Crc31::compute_slicing8(const BitVec& bits, std::size_t nbits) const {
+  assert(nbits <= bits.size());
+  return finish_scalar(0, bits, 0, nbits);
 }
 
 std::uint32_t Crc31::compute_bytewise(const BitVec& bits, std::size_t nbits) const {
@@ -136,6 +222,19 @@ std::uint32_t Crc31::compute_bytewise(const BitVec& bits, std::size_t nbits) con
   }
   return reg;
 }
+
+#if !SUDOKU_HAS_PCLMUL
+// Builds without the PCLMUL translation unit (non-x86-64 targets or
+// -DSUDOKU_ENABLE_PCLMUL=OFF): the kernel is never selectable, and a
+// direct call is a programming error that must not silently return a
+// different kernel's result.
+bool Crc31::clmul_supported() { return false; }
+
+std::uint32_t Crc31::compute_clmul(const BitVec&, std::size_t) const {
+  std::fprintf(stderr, "Crc31: compute_clmul called in a build without PCLMUL support\n");
+  std::abort();
+}
+#endif
 
 std::uint32_t Crc31::compute_bitserial(const BitVec& bits, std::size_t nbits) const {
   assert(nbits <= bits.size());

@@ -1,0 +1,72 @@
+// PCLMUL CRC-31 folding kernel. Compiled only on x86-64 builds with
+// SUDOKU_ENABLE_PCLMUL (the function carries its own target attribute, so
+// the rest of the library still builds for the baseline ISA and the
+// kernel is gated at runtime by clmul_supported()).
+//
+// Math (docs/perf.md "CLMUL CRC-31"): BitVec stores the first-transmitted
+// message bit at a word's LSB, i.e. each 64-bit word is the *reflected*
+// image of a degree-63 polynomial chunk. For reflected operands the
+// carry-less multiply obeys
+//
+//   clmul(refl(A), refl(B)) = refl128(A · B · x)
+//
+// (the product of two 64-bit reflections occupies bits 0..126 of the
+// 128-bit result, i.e. it lands shifted up by one — the extra x). So
+// multiplying a lane by x^e modulo g, up to congruence, uses the constant
+// refl(x^(e-1) mod g): the fold state F = [hi-degree lane | lo-degree
+// lane] advances over one 128-bit chunk as
+//
+//   F' = clmul(F.hi_deg, refl(x^191 mod g))
+//      ^ clmul(F.lo_deg, refl(x^127 mod g)) ^ next_chunk
+//
+// keeping the invariant F ≡ message-prefix (mod g) with deg(F) ≤ 127.
+// The final reduction reuses the verified slicing-by-8 word step twice:
+// feeding F's two words through word_step from a zero register yields
+// F·x^31 mod g — exactly the CRC register after the folded prefix — and
+// the scalar tail path then continues from the next word boundary.
+#include "codes/crc31.h"
+
+#if SUDOKU_HAS_PCLMUL
+
+#include <immintrin.h>
+
+#include <cassert>
+
+namespace sudoku {
+
+bool Crc31::clmul_supported() { return __builtin_cpu_supports("pclmul") != 0; }
+
+__attribute__((target("pclmul,sse2")))
+std::uint32_t Crc31::compute_clmul(const BitVec& bits, std::size_t nbits) const {
+  assert(nbits <= bits.size());
+  assert(clmul_supported());
+  const auto words = bits.words();
+  const std::size_t nchunks = nbits / 128;
+  std::uint32_t reg = 0;
+  if (nchunks != 0) {
+    // K.lo multiplies the earlier word (higher degrees -> x^192), K.hi the
+    // later one (x^128); words[2c] holds message bits 128c..128c+63, whose
+    // degrees are the chunk's high half.
+    const __m128i K =
+        _mm_set_epi64x(static_cast<long long>(clmul_fold_[1]),
+                       static_cast<long long>(clmul_fold_[0]));
+    __m128i F = _mm_set_epi64x(static_cast<long long>(words[1]),
+                               static_cast<long long>(words[0]));
+    for (std::size_t c = 1; c < nchunks; ++c) {
+      const __m128i next =
+          _mm_set_epi64x(static_cast<long long>(words[2 * c + 1]),
+                         static_cast<long long>(words[2 * c]));
+      const __m128i hi_deg = _mm_clmulepi64_si128(F, K, 0x00);
+      const __m128i lo_deg = _mm_clmulepi64_si128(F, K, 0x11);
+      F = _mm_xor_si128(_mm_xor_si128(hi_deg, lo_deg), next);
+    }
+    alignas(16) std::uint64_t f[2];
+    _mm_store_si128(reinterpret_cast<__m128i*>(f), F);
+    reg = word_step(word_step(0, f[0]), f[1]);
+  }
+  return finish_scalar(reg, bits, nchunks * 128, nbits);
+}
+
+}  // namespace sudoku
+
+#endif  // SUDOKU_HAS_PCLMUL

@@ -1,5 +1,6 @@
 #include "codes/hamming.h"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 
@@ -50,6 +51,57 @@ Hamming::Hamming(std::size_t message_bits) : k_(message_bits) {
       }
     }
   }
+
+  // Bit-slice program for the batch kernels: position i feeds the
+  // syndrome bits set in its Hamming position (independent of the parity
+  // masks above, so the differential tests exercise two distinct builds).
+  slice_off_.assign(n_ + 1, 0);
+  slice_idx_.reserve(n_ * r_ / 2);
+  for (std::size_t idx = 0; idx < n_; ++idx) {
+    const std::uint32_t pos = index_to_pos_[idx];
+    for (std::size_t j = 0; j < r_; ++j) {
+      if ((pos >> j) & 1u) slice_idx_.push_back(static_cast<std::uint16_t>(j));
+    }
+    slice_off_[idx + 1] = static_cast<std::uint32_t>(slice_idx_.size());
+  }
+}
+
+void Hamming::accumulate_planes(const BitPlanes& planes, std::uint64_t* acc) const {
+  assert(planes.nbits() == n_);
+  std::fill(acc, acc + r_, 0);
+  const std::uint64_t* plane = planes.planes().data();
+  const std::uint16_t* prog = slice_idx_.data();
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::uint64_t p = plane[i];
+    const std::uint16_t* end = slice_idx_.data() + slice_off_[i + 1];
+    if (p == 0) {
+      prog = end;
+      continue;
+    }
+    for (; prog != end; ++prog) acc[*prog] ^= p;
+  }
+}
+
+void Hamming::batch_syndromes(const BitPlanes& planes, std::uint32_t* out) const {
+  std::uint64_t acc[16];  // r_ <= 16 for any codeword a BitPlanes can hold
+  assert(r_ <= 16);
+  accumulate_planes(planes, acc);
+  for (std::size_t line = 0; line < planes.count(); ++line) {
+    std::uint32_t v = 0;
+    for (std::size_t j = 0; j < r_; ++j) {
+      v |= static_cast<std::uint32_t>((acc[j] >> line) & 1u) << j;
+    }
+    out[line] = v;
+  }
+}
+
+std::uint64_t Hamming::batch_syndromes_zero(const BitPlanes& planes) const {
+  std::uint64_t acc[16];
+  assert(r_ <= 16);
+  accumulate_planes(planes, acc);
+  std::uint64_t dirty = 0;
+  for (std::size_t j = 0; j < r_; ++j) dirty |= acc[j];
+  return ~dirty & planes.lane_mask();
 }
 
 void Hamming::encode(BitVec& codeword) const {

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "codes/batch_codec.h"
 #include "common/bitvec.h"
 
 namespace sudoku {
@@ -52,6 +53,16 @@ class Hamming {
   // Attempt single-error correction in place.
   DecodeStatus decode(BitVec& codeword) const;
 
+  // --- bit-sliced batch kernels (the BatchCodec engine, docs/perf.md) ---
+  // Syndromes of a whole transposed batch at once: `out` receives
+  // planes.count() entries, entry L identical to syndrome() of the
+  // codeword staged in slot L. planes.nbits() must be codeword_bits().
+  void batch_syndromes(const BitPlanes& planes, std::uint32_t* out) const;
+
+  // Bit L of the result is set iff slot L's syndrome is zero — the
+  // batched clean check.
+  std::uint64_t batch_syndromes_zero(const BitPlanes& planes) const;
+
  private:
   std::size_t k_;  // message bits
   std::size_t r_;  // check bits
@@ -67,6 +78,18 @@ class Hamming {
   // popcount(codeword & row_j).
   std::size_t words_per_cw_ = 0;
   std::vector<std::uint64_t> check_masks_;
+
+  // Bit-slice program for the batch kernels: for codeword index i,
+  // entries [slice_off_[i], slice_off_[i+1]) name the syndrome bits of
+  // index_to_pos_[i] — XORing plane i into those accumulator words
+  // computes syndrome bit j for all 64 staged lines at once. Built in the
+  // constructor (a few KB).
+  std::vector<std::uint32_t> slice_off_;
+  std::vector<std::uint16_t> slice_idx_;
+
+  // Run the program; acc must hold check_bits() words (acc[j] bit L =
+  // syndrome bit j of slot L).
+  void accumulate_planes(const BitPlanes& planes, std::uint64_t* acc) const;
 };
 
 }  // namespace sudoku

@@ -329,17 +329,18 @@ ScrubStats SudokuController::scrub_lines(std::span<const std::uint64_t> lines) {
   stats.lines_scanned = lines.size();
   OBS_ADD(obs_.scrub_lines_scanned, lines.size());
 
-  // Fast path: per-line check + ECC-1. Groups that still contain an
-  // uncorrectable line go through the RAID machinery once each.
+  // Fast path, batched (the BatchCodec engine, docs/perf.md): transpose
+  // up to 64 lines at a time and clean-check them bit-sliced; only
+  // inconsistent lines — rare at realistic BERs — take the per-line
+  // correction path, in input order, so outcomes are bit-identical to the
+  // old per-line sweep. Sub-break-even tails (and short dirty-line slices
+  // from the continuous scrubber) skip the transpose entirely. Groups
+  // that still contain an uncorrectable line go through the RAID
+  // machinery once each.
   std::unordered_set<std::uint64_t> pending_groups;
-  BitVec stored(codec_.total_bits());
-  for (const auto line : lines) {
-    array_.read_line(line, stored);
-    switch (codec_.check_and_correct(stored)) {
-      case LineCodec::LineState::kClean:
-        ++stats.lines_clean;
-        OBS_INC(obs_.scrub_lines_clean);
-        break;
+  const auto correct_line = [&](std::uint64_t line, BitVec& stored) {
+    switch (codec_.correct_inconsistent(stored)) {
+      case LineCodec::LineState::kClean:  // unreachable: line is dirty
       case LineCodec::LineState::kCorrected:
         array_.write_line(line, stored);
         ++stats.ecc1_corrections;
@@ -348,6 +349,40 @@ ScrubStats SudokuController::scrub_lines(std::span<const std::uint64_t> lines) {
       case LineCodec::LineState::kUncorrectable:
         pending_groups.insert(hash_.group1(line));
         break;
+    }
+  };
+  BitVec stored(codec_.total_bits());
+  std::vector<BitVec> batch;
+  BitPlanes planes;
+  for (std::size_t base = 0; base < lines.size(); base += BitPlanes::kMaxLines) {
+    const std::size_t count =
+        std::min<std::size_t>(BitPlanes::kMaxLines, lines.size() - base);
+    if (count < LineCodec::kMinBatchLines) {
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::uint64_t line = lines[base + i];
+        array_.read_line(line, stored);
+        if (codec_.fully_clean(stored)) {
+          ++stats.lines_clean;
+          OBS_INC(obs_.scrub_lines_clean);
+        } else {
+          correct_line(line, stored);
+        }
+      }
+      continue;
+    }
+    if (batch.size() < count) batch.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      array_.read_line(lines[base + i], batch[i]);
+    }
+    const std::uint64_t clean =
+        codec_.fully_clean_batch({batch.data(), count}, planes);
+    for (std::size_t i = 0; i < count; ++i) {
+      if ((clean >> i) & 1u) {
+        ++stats.lines_clean;
+        OBS_INC(obs_.scrub_lines_clean);
+      } else {
+        correct_line(lines[base + i], batch[i]);
+      }
     }
   }
 

@@ -1,5 +1,6 @@
 #include "sudoku/line_codec.h"
 
+#include <bit>
 #include <cassert>
 
 namespace sudoku {
@@ -65,8 +66,32 @@ bool LineCodec::fully_clean(const BitVec& stored) const {
   return inner_syndrome_clean(stored) && crc_ok(stored);
 }
 
+std::uint64_t LineCodec::fully_clean_batch(std::span<const BitVec> stored,
+                                           BitPlanes& planes) const {
+  assert(!stored.empty() && stored.size() <= BitPlanes::kMaxLines);
+  planes.reset(total_bits(), stored.size());
+  for (std::size_t i = 0; i < stored.size(); ++i) {
+    assert(stored[i].size() == total_bits());
+    planes.load_line(i, stored[i].words());
+  }
+  planes.finalize();
+  std::uint64_t mask = hamming_ ? hamming_->batch_syndromes_zero(planes)
+                                : bch_->batch_syndromes_zero(planes);
+  // CRC only for inner-clean lines — the same short-circuit fully_clean
+  // takes, so the two paths agree bit for bit.
+  for (std::uint64_t m = mask; m != 0; m &= m - 1) {
+    const auto i = static_cast<std::size_t>(std::countr_zero(m));
+    if (!crc_ok(stored[i])) mask &= ~(std::uint64_t{1} << i);
+  }
+  return mask;
+}
+
 LineCodec::LineState LineCodec::check_and_correct(BitVec& stored) const {
   if (fully_clean(stored)) return LineState::kClean;
+  return correct_inconsistent(stored);
+}
+
+LineCodec::LineState LineCodec::correct_inconsistent(BitVec& stored) const {
   // One shot of the inner code, then re-validate everything. Work on a
   // copy so an unsuccessful (mis)correction does not dirty the stored line.
   BitVec trial = stored;

@@ -14,8 +14,10 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 
 #include "common/bitvec.h"
+#include "codes/batch_codec.h"
 #include "codes/bch.h"
 #include "codes/crc31.h"
 #include "codes/hamming.h"
@@ -49,6 +51,21 @@ class LineCodec {
   // consistency, used by the scrubber so faults in ECC bits don't linger).
   bool fully_clean(const BitVec& stored) const;
 
+  // Batched fully_clean over up to BitPlanes::kMaxLines stored lines: bit
+  // k of the result is set iff fully_clean(stored[k]). The inner-code
+  // syndromes run bit-sliced across the whole batch (the BatchCodec
+  // engine); the CRC — already word-at-a-time or CLMUL — runs per line,
+  // and only for lines whose inner syndromes are clean, mirroring
+  // fully_clean's evaluation order. `planes` is caller-owned scratch so a
+  // sweep reuses the transpose buffers across batches.
+  std::uint64_t fully_clean_batch(std::span<const BitVec> stored,
+                                  BitPlanes& planes) const;
+
+  // Break-even batch width (docs/perf.md): below this, the fixed cost of
+  // running the bit-slice program over all n codeword positions outweighs
+  // the per-line word kernels, so callers fall back to the per-line path.
+  static constexpr std::size_t kMinBatchLines = 12;
+
   enum class LineState {
     kClean,           // no inconsistency observed
     kCorrected,       // inner code fixed <= t bits, CRC+ECC re-verified
@@ -59,6 +76,11 @@ class LineCodec {
   // and re-validate with CRC + ECC. Leaves the line unmodified when it
   // cannot be repaired.
   LineState check_and_correct(BitVec& stored) const;
+
+  // check_and_correct for a line already known inconsistent (e.g. by
+  // fully_clean_batch): skips the redundant clean re-check, otherwise
+  // identical. Never returns kClean.
+  LineState correct_inconsistent(BitVec& stored) const;
 
   const Crc31& crc() const { return crc_; }
 

@@ -329,5 +329,51 @@ TEST(BenchArgsDeath, OverflowDurationExitsTwo) {
               ::testing::ExitedWithCode(2), "out of range for --duration-ms");
 }
 
+// The batch-sweep accounting that keeps throughput honest on partial
+// final batches (bench_codec_throughput's batch rows charge
+// batched_items, never nominal-batch * count).
+TEST(BenchBatchAccounting, BatchCountRoundsUp) {
+  using sudoku::bench::batch_count;
+  EXPECT_EQ(batch_count(0, 64), 0u);
+  EXPECT_EQ(batch_count(1, 64), 1u);
+  EXPECT_EQ(batch_count(63, 64), 1u);
+  EXPECT_EQ(batch_count(64, 64), 1u);
+  EXPECT_EQ(batch_count(65, 64), 2u);
+  EXPECT_EQ(batch_count(130, 64), 3u);
+  EXPECT_EQ(batch_count(200, 64), 4u);
+  EXPECT_EQ(batch_count(10, 0), 0u);  // degenerate batch size
+}
+
+TEST(BenchBatchAccounting, BatchWidthChargesPartialTail) {
+  using sudoku::bench::batch_width;
+  // 200 items in 64-batches: 64, 64, 64, then a partial 8-line tail.
+  EXPECT_EQ(batch_width(200, 64, 0), 64u);
+  EXPECT_EQ(batch_width(200, 64, 2), 64u);
+  EXPECT_EQ(batch_width(200, 64, 3), 8u);
+  EXPECT_EQ(batch_width(200, 64, 4), 0u);  // past the end
+  EXPECT_EQ(batch_width(1, 64, 0), 1u);
+  EXPECT_EQ(batch_width(63, 64, 0), 63u);
+  EXPECT_EQ(batch_width(64, 64, 0), 64u);
+  EXPECT_EQ(batch_width(65, 64, 1), 1u);
+  EXPECT_EQ(batch_width(65, 0, 0), 0u);
+}
+
+TEST(BenchBatchAccounting, BatchedItemsNeverExceedsRequested) {
+  using sudoku::bench::batch_count;
+  using sudoku::bench::batched_items;
+  for (const std::uint64_t items : {0u, 1u, 63u, 64u, 65u, 130u, 200u}) {
+    const std::uint64_t nb = batch_count(items, 64);
+    // Every batch processed: payload is exactly the stream length, not
+    // the nominal nb * 64 (which overstates 200 -> 256).
+    EXPECT_EQ(batched_items(items, 64, nb), items) << items;
+    // Truncated run: payload is only the full batches actually touched.
+    if (nb > 0) {
+      EXPECT_EQ(batched_items(items, 64, nb - 1), (nb - 1) * 64) << items;
+    }
+  }
+  EXPECT_EQ(batched_items(200, 64, 4), 200u);
+  EXPECT_EQ(batched_items(200, 64, 99), 200u);  // extra batches add nothing
+}
+
 }  // namespace
 }  // namespace sudoku::exp
