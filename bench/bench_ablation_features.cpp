@@ -67,6 +67,7 @@ int main(int argc, char** argv) {
     opts.checkpoint = store ? &*store : nullptr;
     opts.checkpoint_scope = std::string("ablation_features.") + to_string(level);
     opts.report = &report;
+    opts.fleet = args.fleet;
 
     exp::RunStats stats;
     const auto r = exp::run_montecarlo_parallel(cfg, opts, &stats);

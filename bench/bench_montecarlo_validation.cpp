@@ -16,10 +16,13 @@
 #include <cstdio>
 #include <optional>
 
+#include <cmath>
+
 #include "bench_util.h"
 #include "exp/checkpoint.h"
 #include "exp/mc_experiments.h"
 #include "exp/metrics_io.h"
+#include "exp/rare_event.h"
 #include "reliability/analytical.h"
 #include "reliability/montecarlo.h"
 
@@ -105,6 +108,7 @@ int main(int argc, char** argv) {
   opts.checkpoint = store ? &*store : nullptr;
   opts.checkpoint_scope = "mc_validation";
   opts.report = &report;
+  opts.fleet = args.fleet;
 
   exp::RunStats total_stats;
   obs::MetricsRegistry total_metrics;
@@ -126,13 +130,74 @@ int main(int argc, char** argv) {
   std::printf("  MC includes every higher-order interaction, so modest (<2x)\n");
   std::printf("  deviations are expected. SDC must be 0 in all runs.\n");
 
+  // ---- rare-event estimator vs unweighted MC ----------------------------
+  // Same system both ways (SuDoku-X, one 64-line group, BER 1e-4, where
+  // unweighted events are still observable), same trial budget: the
+  // count-stratified estimate must agree with the unweighted rate within
+  // joint 95% confidence, and its variance must be far smaller.
+  std::printf("\n  Rare-event estimator vs unweighted MC (SuDoku-X group, BER 1e-4):\n");
+  McConfig gcfg;
+  gcfg.cache.num_lines = 64;
+  gcfg.cache.group_size = 64;
+  gcfg.cache.ber = 1e-4;
+  gcfg.level = SudokuLevel::kX;
+  gcfg.max_intervals = 20000 * args.scale;
+  gcfg.seed = args.seed_or(99);
+  exp::ExpOptions mc_opts = opts;
+  mc_opts.checkpoint_scope = "mc_validation.rare_unweighted";
+  exp::RunStats mc_stats;
+  const auto unweighted = exp::run_montecarlo_parallel(gcfg, mc_opts, &mc_stats);
+  bench::exit_if_interrupted(args);
+  total_stats += mc_stats;
+  total_metrics += unweighted.metrics;
+
+  exp::RareEventConfig recfg;
+  recfg.base = gcfg;
+  recfg.trials = 20000 * args.scale;
+  recfg.min_count = 4;  // X needs two 2-fault lines — k < 4 cannot fail
+  exp::ExpOptions is_opts = opts;
+  is_opts.checkpoint_scope = "mc_validation.rare_is";
+  exp::RunStats is_stats;
+  const auto est = exp::run_rare_event(recfg, is_opts, &is_stats);
+  bench::exit_if_interrupted(args);
+  total_stats += is_stats;
+
+  const double p_mc = unweighted.p_failure_per_interval();
+  const double var_mc =
+      p_mc * (1.0 - p_mc) / static_cast<double>(unweighted.intervals);
+  const double joint_ci95 = 1.96 * std::sqrt(est.var_unit + var_mc);
+  const bool agrees = std::abs(est.p_unit - p_mc) <= joint_ci95;
+  std::printf("    unweighted  p=%-10s (%llu events / %llu trials)\n",
+              bench::sci(p_mc).c_str(),
+              static_cast<unsigned long long>(unweighted.failure_intervals),
+              static_cast<unsigned long long>(unweighted.intervals));
+  std::printf("    stratified  p=%-10s +- %s  ess=%s from %llu trials  %s\n",
+              bench::sci(est.p_unit).c_str(), bench::sci(est.ci95_unit()).c_str(),
+              bench::sci(est.ess).c_str(),
+              static_cast<unsigned long long>(est.trials),
+              agrees ? "[within joint 95% CI]" : "[OUTSIDE joint 95% CI]");
+
+  exp::JsonObject agreement;
+  agreement.set("level", "X")
+      .set("ber", gcfg.cache.ber)
+      .set("group_lines", std::uint64_t{64})
+      .set("p_unweighted", p_mc)
+      .set("unweighted_trials", unweighted.intervals)
+      .set("unweighted_failures", unweighted.failure_intervals)
+      .set("p_stratified", est.p_unit)
+      .set("stratified_ci95", est.ci95_unit())
+      .set("stratified_trials", est.trials)
+      .set("ess", est.ess)
+      .set("joint_ci95", joint_ci95)
+      .set("within_joint_ci95", agrees);
+
   exp::JsonObject config;
   config.set("num_lines", std::uint64_t{1u << 12})
       .set("group_size", 64)
       .set("seed", args.seed_or(99))
       .set("scale", args.scale);
   exp::JsonObject result;
-  result.set("cases", rows);
+  result.set("cases", rows).set("rare_event_agreement", agreement);
 
   const exp::ResultSink sink(args.out_dir);
   const auto path = sink.write("montecarlo_validation", config, result, total_stats,

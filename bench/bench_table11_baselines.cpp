@@ -75,6 +75,7 @@ int main(int argc, char** argv) {
   opts.threads = args.threads;
   opts.checkpoint = store ? &*store : nullptr;
   opts.report = &report;
+  opts.fleet = args.fleet;
   exp::RunStats total_stats;
   obs::MetricsRegistry total_metrics;
   exp::JsonArray mc_rows;

@@ -67,6 +67,7 @@ int main(int argc, char** argv) {
   opts.checkpoint = store ? &*store : nullptr;
   opts.checkpoint_scope = "table3_sdc";
   opts.report = &report;
+  opts.fleet = args.fleet;
   exp::RunStats stats;
   const auto mc = exp::run_montecarlo_parallel(mcfg, opts, &stats);
   bench::exit_if_interrupted(args);

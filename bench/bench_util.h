@@ -89,6 +89,9 @@ inline std::uint64_t batched_items(std::uint64_t items, std::uint64_t batch,
 //                     and can be continued with --resume
 //   --resume          replay finished shards from --checkpoint=DIR and
 //                     recompute only the rest (byte-identical artifacts)
+//   --fleet           claim shards through the checkpoint store so N
+//                     processes sharing --checkpoint=DIR split the run
+//                     (docs/fleet.md); requires --checkpoint
 //   --help            print usage and exit 0
 //
 // Malformed values ("--seed=abc", overflow) and unknown flags print the
@@ -127,6 +130,7 @@ struct BenchArgs {
   std::string out_dir = "bench/out";
   std::string checkpoint_dir;  // empty = checkpointing off
   bool resume = false;
+  bool fleet = false;  // multi-process shard claims over checkpoint_dir
   std::vector<std::string> extras;  // matched Options::extra_flags
 
   bool has_extra(const std::string& flag) const {
@@ -151,7 +155,7 @@ struct BenchArgs {
     std::string synopsis = std::string("usage: ") + prog + " [--seed=S] [--json] [--out=DIR]";
     if (opts.threads) synopsis += " [--threads=N]";
     if (opts.scale) synopsis += " [--scale=K | K]";
-    if (opts.checkpoint) synopsis += " [--checkpoint=DIR [--resume]]";
+    if (opts.checkpoint) synopsis += " [--checkpoint=DIR [--resume] [--fleet]]";
     if (opts.load) synopsis += " [--clients=N] [--banks=N] [--duration-ms=N]";
     for (const auto& f : opts.extra_flags) synopsis += " [" + f + "]";
     synopsis += " [--help]";
@@ -169,7 +173,8 @@ struct BenchArgs {
     if (opts.checkpoint) {
       std::fprintf(to,
                    "  --checkpoint=DIR  persist finished shards; interrupt exits 75 (resumable)\n"
-                   "  --resume          replay finished shards from --checkpoint=DIR\n");
+                   "  --resume          replay finished shards from --checkpoint=DIR\n"
+                   "  --fleet           claim shards via DIR so N processes split the run\n");
     }
     if (opts.load) {
       std::fprintf(to,
@@ -266,6 +271,11 @@ struct BenchArgs {
           reject_unsupported("--resume", "nothing to checkpoint");
         }
         args.resume = true;
+      } else if (arg == "--fleet") {
+        if (!opts.checkpoint) {
+          reject_unsupported("--fleet", "nothing to checkpoint");
+        }
+        args.fleet = true;
       } else if (arg == "--json") {
         args.json = true;
       } else if (arg == "--help" || arg == "-h") {
@@ -283,6 +293,10 @@ struct BenchArgs {
     }
     if (args.resume && !args.checkpointing()) {
       usage_error("--resume requires --checkpoint=DIR");
+    }
+    if (args.fleet && !args.checkpointing()) {
+      usage_error("--fleet requires --checkpoint=DIR (the shared store is "
+                  "how workers coordinate)");
     }
     return args;
   }

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Fleet end-to-end check (docs/fleet.md), run in CI against the Release
+# build:
+#
+#   1. uninterrupted single-process reference run
+#   2. fleet of 2 workers (tools/fleet) on a shared checkpoint store; one
+#      worker is SIGTERM'd mid-flight -> the launcher must respawn it with
+#      --resume and the fleet must still finish cleanly
+#   3. fleet of 4 workers, fresh store, no interference
+#   4. both fleet artifacts must equal the reference byte-for-byte outside
+#      the wall-clock "throughput" section
+#
+# Usage: scripts/ci_fleet_smoke.sh <bench_montecarlo_validation> <fleet> <artifact_diff>
+set -euo pipefail
+
+BENCH=${1:?usage: $0 <bench_montecarlo_validation> <fleet> <artifact_diff>}
+FLEET=${2:?usage: $0 <bench_montecarlo_validation> <fleet> <artifact_diff>}
+DIFF=${3:?usage: $0 <bench_montecarlo_validation> <fleet> <artifact_diff>}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+# --scale=2 lengthens the run enough that the mid-flight kill reliably
+# lands while shards are still open.
+SCALE=2
+
+echo "== reference run (single process, no checkpoint)"
+"$BENCH" --scale=$SCALE --out="$WORK/ref" >/dev/null
+
+echo "== fleet of 2, one worker killed mid-flight"
+"$FLEET" --jobs=2 -- \
+  "$BENCH" --scale=$SCALE --checkpoint="$WORK/ckpt2" --fleet \
+  --out="$WORK/fleet2" >/dev/null 2>"$WORK/fleet2.log" &
+LAUNCHER=$!
+# The launcher logs each worker's pid; grab one once it appears.
+VICTIM=""
+for _ in $(seq 1 50); do
+  VICTIM=$(grep -oE 'worker 1 started \(pid [0-9]+' "$WORK/fleet2.log" \
+             | grep -oE '[0-9]+$' || true)
+  [ -n "$VICTIM" ] && break
+  sleep 0.1
+done
+[ -n "$VICTIM" ] || { echo "FAIL: never saw worker 1 start"; exit 1; }
+sleep 0.7
+kill -TERM "$VICTIM" 2>/dev/null \
+  && echo "   SIGTERM'd worker pid $VICTIM" \
+  || echo "   worker $VICTIM already finished (kill raced completion)"
+set +e
+wait "$LAUNCHER"
+STATUS=$?
+set -e
+echo "   fleet exited $STATUS"
+sed 's/^/   | /' "$WORK/fleet2.log"
+if [[ $STATUS -ne 0 ]]; then
+  echo "FAIL: fleet of 2 with a killed worker should still finish cleanly"
+  exit 1
+fi
+
+echo "== fleet of 4, fresh store"
+"$FLEET" --jobs=4 -- \
+  "$BENCH" --scale=$SCALE --checkpoint="$WORK/ckpt4" --fleet \
+  --out="$WORK/fleet4" >/dev/null 2>"$WORK/fleet4.log"
+grep -c "finished" "$WORK/fleet4.log" >/dev/null
+
+echo "== compare artifacts (throughput carries wall-clock and is ignored)"
+"$DIFF" --ignore=throughput \
+  "$WORK/ref/montecarlo_validation.json" "$WORK/fleet2/montecarlo_validation.json"
+echo "   fleet of 2 (with kill+respawn) identical to single-process"
+"$DIFF" --ignore=throughput \
+  "$WORK/ref/montecarlo_validation.json" "$WORK/fleet4/montecarlo_validation.json"
+echo "   fleet of 4 identical to single-process"
+
+echo "PASS: fleet runs produced byte-identical artifacts"

@@ -8,8 +8,9 @@
 # paper-vs-measured table collected from the artifacts' paper_comparison
 # sections. See docs/repro.md for the golden-recording workflow.
 #
-# usage: scripts/repro.sh [--quick] [--record] [--threads=N] [--rtol=X]
-#                         [--build-dir=DIR] [--skip-build] [--no-deltas]
+# usage: scripts/repro.sh [--quick] [--record] [--threads=N] [--jobs=N]
+#                         [--rtol=X] [--build-dir=DIR] [--skip-build]
+#                         [--no-deltas]
 #
 #   --quick       analytical + fast Monte-Carlo subset (what CI runs):
 #                 skips the three wall-clock-heavy benches
@@ -17,6 +18,11 @@
 #                 instead of diffing
 #   --threads=N   pool width for the engine-backed benches (results are
 #                 bit-identical for any N; default: all hardware threads)
+#   --jobs=N      run each engine-backed bench as a fleet of N processes
+#                 (tools/fleet) splitting shards through a shared
+#                 checkpoint store; artifacts stay bit-identical to N=1.
+#                 An interrupted run (^C -> exit 75) keeps its checkpoints
+#                 and resumes on rerun.
 #   --rtol=X      relative tolerance for float-shaped numbers
 #                 (default 1e-9: absorbs libm/toolchain ulp drift while
 #                 integer counters stay exact)
@@ -32,6 +38,7 @@ RECORD=0
 SKIP_BUILD=0
 DELTAS=1
 THREADS=""
+JOBS=1
 RTOL=1e-9
 BUILD_DIR=build-release
 for arg in "$@"; do
@@ -41,6 +48,7 @@ for arg in "$@"; do
     --skip-build) SKIP_BUILD=1 ;;
     --no-deltas) DELTAS=0 ;;
     --threads=*) THREADS="${arg#--threads=}" ;;
+    --jobs=*) JOBS="${arg#--jobs=}" ;;
     --rtol=*) RTOL="${arg#--rtol=}" ;;
     --build-dir=*) BUILD_DIR="${arg#--build-dir=}" ;;
     --help|-h) sed -n '2,25p' "$0"; exit 0 ;;
@@ -50,8 +58,14 @@ done
 
 GOLDEN_DIR=bench/golden
 OUT_DIR=bench/out
+# Checkpoints live *outside* OUT_DIR so an interrupted run (exit 75) keeps
+# them for the resume; removed again once the whole run succeeds.
+CKPT_DIR=bench/out.ckpt
 
-# name | engine-backed (takes --threads) | in --quick | extra ignore globs
+# name | engine column | in --quick | extra ignore globs
+#   engine column: T = full engine contract (--threads --checkpoint --fleet),
+#                  t = --threads only (no checkpoint store),
+#                  . = neither.
 # (the "throughput" wall-clock section is always ignored).
 BENCHES="
 table1_ber          . . .
@@ -59,9 +73,9 @@ table2_ecc_fit      . . .
 table3_sdc          T . .
 table4_sram_vmin    . . .
 fig3_sdr_cases      . . .
-fig7_mttf           . . .
+fig7_mttf           T . .
 fig8_performance    . slow .
-fig9_edp            T slow .
+fig9_edp            t slow .
 table8_scrub        . . metrics.scrub.sweep_wall_ns
 table9_cache_size   . . .
 table10_delta       . . .
@@ -81,7 +95,12 @@ if [ "$SKIP_BUILD" -eq 0 ]; then
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
   cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
     $(echo "$BENCHES" | awk 'NF {print "bench_" $1}') \
-    bench_service_throughput artifact_diff >/dev/null
+    bench_service_throughput artifact_diff fleet >/dev/null
+fi
+
+if [ "$JOBS" -gt 1 ] && [ ! -x "$BUILD_DIR/tools/fleet" ]; then
+  echo "repro.sh: --jobs=$JOBS needs $BUILD_DIR/tools/fleet (POSIX only)" >&2
+  exit 2
 fi
 
 DIFF_TOOL="$BUILD_DIR/tools/artifact_diff"
@@ -99,12 +118,34 @@ while read -r name engine speed ignores; do
     continue
   fi
   ARGS=(--out="$OUT_DIR")
-  if [ "$engine" = "T" ] && [ -n "$THREADS" ]; then
+  if [ "$engine" != "." ] && [ -n "$THREADS" ]; then
     ARGS+=(--threads="$THREADS")
   fi
   echo "  run   $name"
-  if ! "$BUILD_DIR/bench/bench_$name" "${ARGS[@]}" >/dev/null; then
-    echo "repro.sh: bench_$name failed" >&2
+  STATUS=0
+  if [ "$engine" = "T" ] && [ "$JOBS" -gt 1 ]; then
+    # Fleet mode: N processes split the shards through a shared checkpoint
+    # store; every finisher runs the same deterministic merge, so the
+    # artifact is bit-identical to the single-process run. --resume makes
+    # a rerun after an interrupt pick up the kept checkpoints.
+    "$BUILD_DIR/tools/fleet" --jobs="$JOBS" -- \
+      "$BUILD_DIR/bench/bench_$name" "${ARGS[@]}" \
+      --checkpoint="$CKPT_DIR/$name" --fleet --resume \
+      >/dev/null 2>/dev/null || STATUS=$?
+  elif [ "$engine" = "T" ]; then
+    "$BUILD_DIR/bench/bench_$name" "${ARGS[@]}" \
+      --checkpoint="$CKPT_DIR/$name" --resume >/dev/null || STATUS=$?
+  else
+    "$BUILD_DIR/bench/bench_$name" "${ARGS[@]}" >/dev/null || STATUS=$?
+  fi
+  if [ "$STATUS" -eq 75 ]; then
+    # EX_TEMPFAIL: the worker checkpointed its finished shards and stopped.
+    # Distinct from a hard failure — nothing is wrong, the run is resumable.
+    echo "repro.sh: bench_$name interrupted (exit 75); checkpoints kept in $CKPT_DIR/" >&2
+    echo "repro.sh: rerun the same command to resume where it stopped" >&2
+    exit 75
+  elif [ "$STATUS" -ne 0 ]; then
+    echo "repro.sh: bench_$name failed (exit $STATUS)" >&2
     FAILED="$FAILED $name(run)"
     continue
   fi
@@ -171,6 +212,7 @@ if [ -n "$FAILED" ]; then
   echo "repro.sh: FAILED:$FAILED" >&2
   exit 1
 fi
+rm -rf "$CKPT_DIR"
 echo
 if [ "$RECORD" -eq 1 ]; then
   echo "repro.sh: OK ($RUN goldens recorded)"

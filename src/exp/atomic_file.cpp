@@ -1,6 +1,8 @@
 #include "exp/atomic_file.h"
 
+#include <atomic>
 #include <cstdio>
+#include <cstdint>
 #include <stdexcept>
 #include <system_error>
 
@@ -20,11 +22,29 @@ namespace {
   throw std::runtime_error("atomic_write_file: " + what + " '" + path.string() + "'");
 }
 
+// Writer-unique temporary suffix. Concurrent publishers of the same path
+// (fleet siblings emitting one artifact, or two pool threads saving at
+// once) must not share a staging name: with a fixed ".tmp" one writer
+// renames the other's half-written temp into place, or renames it away and
+// fails the loser with ENOENT. pid + a process-local counter keeps every
+// staging file private, so concurrent writes degrade to
+// last-rename-wins over complete files.
+std::string tmp_suffix() {
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t n = counter.fetch_add(1, std::memory_order_relaxed);
+#if SUDOKU_ATOMIC_FILE_POSIX
+  return ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
+         std::to_string(n);
+#else
+  return ".tmp." + std::to_string(n);
+#endif
+}
+
 }  // namespace
 
 void atomic_write_file(const std::filesystem::path& path,
                        const std::string& contents, FileDurability durability) {
-  const std::filesystem::path tmp = path.string() + ".tmp";
+  const std::filesystem::path tmp = path.string() + tmp_suffix();
 
 #if SUDOKU_ATOMIC_FILE_POSIX
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
@@ -80,6 +100,38 @@ void atomic_write_file(const std::filesystem::path& path,
     std::filesystem::remove(tmp, ignored);
     raise(path, "rename failed for");
   }
+#endif
+}
+
+bool atomic_create_file(const std::filesystem::path& path,
+                        const std::string& contents) {
+#if SUDOKU_ATOMIC_FILE_POSIX
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  if (fd < 0) {
+    if (errno == EEXIST) return false;
+    raise(path, "exclusive create failed for");
+  }
+  std::size_t written = 0;
+  while (written < contents.size()) {
+    const ssize_t n =
+        ::write(fd, contents.data() + written, contents.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // the claim exists; truncated diagnostics are acceptable
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  return true;
+#else
+  // Portable approximation: std::ofstream with noreplace is C++23; emulate
+  // with an existence check + create. Not atomic against other processes,
+  // which is why the fleet queue is documented POSIX-only.
+  if (std::filesystem::exists(path)) return false;
+  std::ofstream out(path, std::ios::binary);
+  if (!out) raise(path, "exclusive create failed for");
+  out << contents;
+  return true;
 #endif
 }
 

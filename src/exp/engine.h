@@ -25,14 +25,22 @@
 //     shards are skipped, in-flight shards finish or abandon through their
 //     stop hooks, and the report is marked interrupted so callers can exit
 //     with kExitInterrupted ("resumable") instead of failing.
+//   * fleet queue — with a ShardWorkQueue (docs/fleet.md), each shard is
+//     claimed (O_EXCL) before it runs, shards finished by sibling
+//     *processes* are adopted from their published done-files, and a final
+//     wait pass collects (or steals and recomputes) whatever foreign
+//     workers still owe — so every worker ends the run holding the full
+//     result set and performs the same deterministic merge.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "exp/checkpoint.h"
@@ -40,6 +48,7 @@
 #include "exp/sharder.h"
 #include "exp/shutdown.h"
 #include "exp/thread_pool.h"
+#include "exp/work_queue.h"
 
 namespace sudoku::exp {
 
@@ -65,6 +74,14 @@ struct RunShardedOptions {
   // Fired after each *live* (not replayed) shard completes and is
   // recorded; used for progress and by tests to kill runs at exact points.
   std::function<void(const Shard&)> after_shard;
+
+  // Multi-process fleet mode (docs/fleet.md). Requires checkpoint + encode
+  // + decode: the done-files the checkpoint publishes are the medium
+  // through which sibling workers exchange shard results. Each worker
+  // claims shards exclusively before computing them, adopts siblings'
+  // finished shards, and after its local pass waits for (or steals from)
+  // whatever peers still owe, so any worker can complete the merge.
+  const ShardWorkQueue* queue = nullptr;
 };
 
 namespace detail {
@@ -114,12 +131,28 @@ Result run_sharded(ThreadPool& pool, const std::vector<Shard>& shards,
     }
   }
 
-  pool.parallel_for(shards.size(), [&](std::uint64_t k) {
-    if (replayed[k]) return;
-    // Once the completed prefix meets the target this shard is beyond the
-    // merge cutoff — skip it entirely. A requested shutdown likewise stops
-    // new shards from starting (in-flight ones abandon via stop hooks).
-    if (early.triggered() || shutdown_requested()) return;
+  // Adopt a shard a sibling process finished: decode its published
+  // done-file and record it exactly as a locally computed result.
+  const auto adopt_foreign = [&](std::uint64_t k) -> bool {
+    std::optional<std::string> payload = opt.queue->load_done(shards[k].index);
+    if (!payload) return false;
+    std::optional<Result> r = opt.decode(*payload);
+    if (!r.has_value()) return false;  // torn/corrupt — caller recomputes
+    early.record(k, r->failure_intervals);
+    outcomes[k] = std::move(r);
+    states[k] = ShardState::kDone;
+    if (opt.report) {
+      std::lock_guard<std::mutex> lock(report_mutex);
+      ++opt.report->shards_foreign;
+    }
+    return true;
+  };
+
+  // Run one owned shard to completion: retry/quarantine loop, checkpoint
+  // publication, and (in fleet mode) claim release on every exit path —
+  // including quarantine, so sibling workers can attempt the shard
+  // themselves instead of waiting on our claim forever.
+  const auto execute_shard = [&](std::uint64_t k) {
     const unsigned max_attempts = opt.quarantine ? std::max(opt.max_attempts, 1u) : 1;
     for (unsigned attempt = 1;; ++attempt) {
       try {
@@ -139,9 +172,13 @@ Result run_sharded(ThreadPool& pool, const std::vector<Shard>& shards,
           states[k] = ShardState::kDone;
           if (opt.after_shard) opt.after_shard(shards[k]);
         }
+        if (opt.queue) opt.queue->release(shards[k].index);
         return;
       } catch (...) {
-        if (!opt.quarantine) throw;  // fallback: pool rethrows to the caller
+        if (!opt.quarantine) {
+          if (opt.queue) opt.queue->release(shards[k].index);
+          throw;  // fallback: pool rethrows to the caller
+        }
         std::string what = "unknown exception";
         ShardErrorKind kind = ShardErrorKind::kUnknownException;
         try {
@@ -159,6 +196,7 @@ Result run_sharded(ThreadPool& pool, const std::vector<Shard>& shards,
             ++opt.report->shards_quarantined;
             opt.report->trials_quarantined += shards[k].count;
           }
+          if (opt.queue) opt.queue->release(shards[k].index);
           return;
         }
         // Retry with the same seeds on whatever worker picks it up next —
@@ -169,7 +207,61 @@ Result run_sharded(ThreadPool& pool, const std::vector<Shard>& shards,
         }
       }
     }
+  };
+
+  pool.parallel_for(shards.size(), [&](std::uint64_t k) {
+    if (replayed[k]) return;
+    // Once the completed prefix meets the target this shard is beyond the
+    // merge cutoff — skip it entirely. A requested shutdown likewise stops
+    // new shards from starting (in-flight ones abandon via stop hooks).
+    if (early.triggered() || shutdown_requested()) return;
+    if (opt.queue) {
+      // Fleet: a sibling may already have published or claimed this shard.
+      if (adopt_foreign(k)) return;
+      if (!opt.queue->try_claim(shards[k].index)) return;  // wait pass collects
+      if (adopt_foreign(k)) {  // done-file landed while we were claiming
+        opt.queue->release(shards[k].index);
+        return;
+      }
+    }
+    execute_shard(k);
   });
+
+  // Fleet wait pass: everything this worker skipped above is owned by a
+  // sibling. Walk in index order — mirroring the merge — and stop as soon
+  // as the contiguous prefix meets the early-stop target, because no shard
+  // past that cutoff will ever be computed by anyone. For each owed shard:
+  // adopt the sibling's done-file when it lands, or take over (fresh claim
+  // after a release, or steal after lease expiry) and recompute locally.
+  if (opt.queue) {
+    std::uint64_t prefix_failures = 0;
+    for (std::uint64_t k = 0; k < shards.size() && !shutdown_requested(); ++k) {
+      if (opt.target_failures != 0 && prefix_failures >= opt.target_failures) break;
+      bool noted_corrupt = false;
+      while (states[k] == ShardState::kPending && !shutdown_requested()) {
+        if (adopt_foreign(k)) break;
+        if (opt.queue->load_done(shards[k].index) && !noted_corrupt) {
+          // Exists but failed to decode: note once, then recompute below.
+          note_error(shards[k].index, ShardErrorKind::kCheckpointCorrupt, 0,
+                     opt.checkpoint->shard_path(opt.key, shards[k].index).string());
+          noted_corrupt = true;
+        }
+        if (opt.queue->try_claim(shards[k].index) ||
+            opt.queue->steal_stale(shards[k].index)) {
+          if (adopt_foreign(k)) {
+            opt.queue->release(shards[k].index);
+          } else {
+            execute_shard(k);
+          }
+          break;
+        }
+        std::this_thread::sleep_for(opt.queue->options().poll);
+      }
+      if (states[k] == ShardState::kDone) {
+        prefix_failures += outcomes[k]->failure_intervals;
+      }
+    }
+  }
 
   Result merged{};
   std::uint64_t failures = 0;

@@ -24,6 +24,7 @@ JsonObject ShardError::to_json() const {
 obs::MetricsRegistry ShardRunReport::to_metrics() const {
   obs::MetricsRegistry reg;
   reg.counter("exp.shards_resumed")->inc(shards_resumed);
+  reg.counter("exp.shards_foreign")->inc(shards_foreign);
   reg.counter("exp.shards_retried")->inc(shards_retried);
   reg.counter("exp.shards_quarantined")->inc(shards_quarantined);
   reg.counter("exp.trials_quarantined")->inc(trials_quarantined);

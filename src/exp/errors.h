@@ -42,6 +42,7 @@ struct ShardError {
 struct ShardRunReport {
   std::uint64_t shards_total = 0;        // shards in the executed plans
   std::uint64_t shards_resumed = 0;      // replayed from checkpoint
+  std::uint64_t shards_foreign = 0;      // loaded from a fleet sibling's save
   std::uint64_t shards_retried = 0;      // retry attempts after a throw
   std::uint64_t shards_quarantined = 0;  // excluded from the merge
   std::uint64_t trials_quarantined = 0;  // trials those shards covered

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <optional>
 #include <sstream>
+#include <stdexcept>
 
 #include "exp/engine.h"
 #include "exp/json_parse.h"
@@ -11,6 +12,7 @@
 #include "exp/sharder.h"
 #include "exp/shutdown.h"
 #include "exp/thread_pool.h"
+#include "exp/work_queue.h"
 
 namespace sudoku::exp {
 
@@ -45,6 +47,7 @@ std::uint64_t hash_mc_config(const reliability::McConfig& c, std::uint64_t chunk
   feed(os, c.max_intervals);
   feed(os, c.target_failures);
   feed(os, static_cast<std::uint64_t>(c.verify_against_golden));
+  feed(os, static_cast<std::uint64_t>(c.fixed_fault_count + 1));
   feed(os, c.host_writes_per_interval);
   feed(os, c.wer);
   feed(os, chunk);  // the shard plan is part of the key
@@ -129,6 +132,24 @@ RunShardedOptions<Result> make_engine_options(
   return opt;
 }
 
+// Fleet mode lives outside make_engine_options because the queue must
+// outlive the engine call: the caller provides the storage, this attaches.
+template <typename Result>
+void attach_fleet(const ExpOptions& options, RunShardedOptions<Result>& opt,
+                  std::optional<ShardWorkQueue>& queue) {
+  if (!options.fleet) return;
+  if (!opt.checkpoint) {
+    throw std::runtime_error(
+        "ExpOptions: fleet mode requires a checkpoint store (the shared "
+        "store is how workers coordinate)");
+  }
+  WorkQueueOptions qopt;
+  qopt.lease = std::chrono::milliseconds(options.lease_ms);
+  qopt.poll = std::chrono::milliseconds(options.poll_ms);
+  queue.emplace(opt.checkpoint, opt.key, qopt);
+  opt.queue = &*queue;
+}
+
 // ---- payload helpers ---------------------------------------------------
 
 bool read_u64(const JsonValue& root, const char* key, std::uint64_t* out) {
@@ -160,10 +181,12 @@ reliability::McResult run_montecarlo_parallel(const reliability::McConfig& confi
                                               const ExpOptions& options,
                                               RunStats* stats) {
   const std::uint64_t chunk = resolve_chunk(options, config.max_intervals);
-  const auto ropt = make_engine_options<reliability::McResult>(
+  auto ropt = make_engine_options<reliability::McResult>(
       options, config.target_failures,
       hash_mc_config(config, chunk, options.checkpoint_scope), config.seed,
       "montecarlo", &encode_mc_result, &decode_mc_result);
+  std::optional<ShardWorkQueue> queue;
+  attach_fleet(options, ropt, queue);
   return timed_run<reliability::McResult>(
       options, config.max_intervals, stats, [&](ThreadPool& pool, const auto& shards) {
         return run_sharded<reliability::McResult>(
@@ -181,10 +204,12 @@ baselines::BaselineMcResult run_baseline_mc_parallel(
     const SchemeFactory& factory, const baselines::BaselineMcConfig& config,
     const ExpOptions& options, RunStats* stats) {
   const std::uint64_t chunk = resolve_chunk(options, config.max_intervals);
-  const auto ropt = make_engine_options<baselines::BaselineMcResult>(
+  auto ropt = make_engine_options<baselines::BaselineMcResult>(
       options, config.target_failures,
       hash_baseline_config(config, chunk, options.checkpoint_scope), config.seed,
       "baseline_mc", &encode_baseline_mc_result, &decode_baseline_mc_result);
+  std::optional<ShardWorkQueue> queue;
+  attach_fleet(options, ropt, queue);
   return timed_run<baselines::BaselineMcResult>(
       options, config.max_intervals, stats, [&](ThreadPool& pool, const auto& shards) {
         return run_sharded<baselines::BaselineMcResult>(

@@ -45,6 +45,18 @@ struct ExpOptions {
   ShardRunReport* report = nullptr;
   // Progress/test hook: fired after each live shard completes.
   std::function<void(const Shard&)> after_shard;
+
+  // ---- fleet (multi-process shard queue, docs/fleet.md) ----
+  // When set, shards are claimed exclusively through the checkpoint store
+  // before they run, so N independent processes pointed at the same store
+  // split one experiment and each merge the same bit-identical result.
+  // Requires `checkpoint` (the store is the coordination medium); the
+  // adapters throw std::runtime_error if fleet is requested without it.
+  bool fleet = false;
+  // Claim lease: a claim this old with no published result is stealable.
+  unsigned lease_ms = 10000;
+  // Sleep between polls of a sibling-owned shard in the wait pass.
+  unsigned poll_ms = 20;
 };
 
 // Parallel reliability::run_montecarlo. config.seed / max_intervals /

@@ -1,0 +1,96 @@
+#include "exp/work_queue.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "exp/atomic_file.h"
+
+namespace sudoku::exp {
+
+namespace {
+
+std::string this_worker_tag() {
+  char host[256] = "unknown-host";
+#if defined(__unix__) || defined(__APPLE__)
+  if (::gethostname(host, sizeof(host)) != 0) {
+    std::snprintf(host, sizeof(host), "unknown-host");
+  }
+  host[sizeof(host) - 1] = '\0';
+  return std::string(host) + ":" + std::to_string(::getpid());
+#else
+  return std::string(host);
+#endif
+}
+
+}  // namespace
+
+ShardWorkQueue::ShardWorkQueue(const CheckpointStore* store, CheckpointKey key,
+                               WorkQueueOptions options)
+    : store_(store),
+      key_(std::move(key)),
+      options_(options),
+      worker_tag_(this_worker_tag()) {}
+
+std::filesystem::path ShardWorkQueue::claim_path(
+    std::uint64_t shard_index) const {
+  return store_->shard_path(key_, shard_index).string() + ".claim";
+}
+
+std::optional<std::string> ShardWorkQueue::load_done(
+    std::uint64_t shard_index) const {
+  // Deliberately not CheckpointStore::load: that honours the store's
+  // resume flag, while fleet siblings' results are part of the *current*
+  // run and must always be visible.
+  std::ifstream in(store_->shard_path(key_, shard_index), std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (!in.good() && !in.eof()) return std::nullopt;
+  return std::move(ss).str();
+}
+
+bool ShardWorkQueue::try_claim(std::uint64_t shard_index) const {
+  const std::filesystem::path path = claim_path(shard_index);
+  std::error_code ec;
+  std::filesystem::create_directories(path.parent_path(), ec);
+  if (ec) {
+    throw std::runtime_error("ShardWorkQueue: cannot create '" +
+                             path.parent_path().string() + "': " + ec.message());
+  }
+  return atomic_create_file(path, worker_tag_ + "\n");
+}
+
+void ShardWorkQueue::release(std::uint64_t shard_index) const {
+  std::error_code ignored;
+  std::filesystem::remove(claim_path(shard_index), ignored);
+}
+
+bool ShardWorkQueue::steal_stale(std::uint64_t shard_index) const {
+  const std::filesystem::path claim = claim_path(shard_index);
+  std::error_code ec;
+  const auto mtime = std::filesystem::last_write_time(claim, ec);
+  if (ec) return false;  // claim vanished — owner released or a peer stole it
+  const auto age = std::filesystem::file_time_type::clock::now() - mtime;
+  if (age < options_.lease) return false;
+  if (load_done(shard_index)) return false;  // finished; nothing to steal
+  // Rename-to-tombstone is the steal atom: of N peers that all see the
+  // claim expired, exactly one rename succeeds (the rest find the source
+  // gone). The winner removes the tombstone and takes a fresh claim; a
+  // revenant owner publishing its done-file afterwards is harmless because
+  // the payload bytes are identical.
+  const std::filesystem::path tombstone =
+      claim.string() + ".stale." + worker_tag_;
+  std::filesystem::rename(claim, tombstone, ec);
+  if (ec) return false;
+  std::error_code ignored;
+  std::filesystem::remove(tombstone, ignored);
+  return try_claim(shard_index);
+}
+
+}  // namespace sudoku::exp

@@ -1,0 +1,84 @@
+// Multi-process shard work queue over the checkpoint store (docs/fleet.md).
+//
+// The crash-safe checkpoint layer already publishes every finished shard
+// as an atomic file under a config-hash-keyed directory; this adds the one
+// missing atom — an exclusive *claim* — so N independent processes (or
+// hosts sharing a filesystem) can pull shards of one experiment without
+// coordination and each produce the same bit-identical merged artifact:
+//
+//   shard-<k>.json   — the result, published by CheckpointStore::save
+//                      (temp + rename; idempotent, last writer wins)
+//   shard-<k>.claim  — ownership marker, created with O_CREAT|O_EXCL;
+//                      exactly one of N racing workers wins the create
+//
+// Protocol per shard: done-file exists -> load it; else try_claim; on
+// success compute, save the done file, release the claim. A worker that
+// dies mid-shard leaves a claim whose mtime stops advancing; any peer may
+// take it over once the lease expires (steal_stale: atomically rename the
+// stale claim to a tombstone — only one stealer wins the rename — then
+// re-claim). Because shard results are pure functions of (config, seed,
+// trial range), duplicated execution after a takeover race is harmless:
+// both workers publish identical bytes.
+//
+// Nothing here blocks: the engine's wait pass (engine.h) polls
+// load_done/try_claim/steal_stale until the plan is complete, so every
+// worker ends up holding all shard results and the final deterministic
+// merge can run anywhere.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "exp/checkpoint.h"
+
+namespace sudoku::exp {
+
+struct WorkQueueOptions {
+  // A claim older than this (by file mtime) with no done-file is treated
+  // as abandoned and may be stolen. Must comfortably exceed the longest
+  // shard's runtime; the default suits the repo's second-scale shards.
+  std::chrono::milliseconds lease{10000};
+  // Wait-pass sleep between polls of a foreign-owned shard.
+  std::chrono::milliseconds poll{20};
+};
+
+class ShardWorkQueue {
+ public:
+  ShardWorkQueue(const CheckpointStore* store, CheckpointKey key,
+                 WorkQueueOptions options = {});
+
+  const WorkQueueOptions& options() const { return options_; }
+
+  // Payload of a finished shard, regardless of the store's resume flag —
+  // done-files written by sibling workers of this same run must be visible
+  // even in a cold-start (--checkpoint without --resume) invocation.
+  std::optional<std::string> load_done(std::uint64_t shard_index) const;
+
+  // Exclusive-create the claim marker. True = this process owns the shard
+  // and must eventually publish its done-file and release(). False = a
+  // peer owns it (or finished it). Creates the key directory on demand.
+  bool try_claim(std::uint64_t shard_index) const;
+
+  // Drop this worker's claim marker after the done-file is published (or
+  // after the shard was quarantined, so peers can attempt it themselves).
+  // Missing file is fine — a stealer may have renamed it already.
+  void release(std::uint64_t shard_index) const;
+
+  // Take over an expired claim: if the claim file exists, has outlived the
+  // lease, and still has no done-file, rename it aside (one winner among
+  // racing stealers) and re-claim. Returns true when the caller now owns
+  // the shard.
+  bool steal_stale(std::uint64_t shard_index) const;
+
+  std::filesystem::path claim_path(std::uint64_t shard_index) const;
+
+ private:
+  const CheckpointStore* store_;
+  CheckpointKey key_;
+  WorkQueueOptions options_;
+  std::string worker_tag_;  // host:pid, stored in claim files for debugging
+};
+
+}  // namespace sudoku::exp

@@ -92,7 +92,11 @@ McResult run_montecarlo(const McConfig& config) {
       rng.reseed(
           Rng::derive_stream_seed(config.seed, config.first_trial + interval));
     }
-    const auto batch = injector.sample_interval(rng);
+    const auto batch =
+        config.fixed_fault_count >= 0
+            ? injector.sample_exact(
+                  rng, static_cast<std::uint64_t>(config.fixed_fault_count))
+            : injector.sample_interval(rng);
     const std::uint64_t batch_faults = FaultInjector::count(batch);
     result.faults_injected += batch_faults;
     OBS_OBSERVE(m_faults_per_interval, batch_faults);

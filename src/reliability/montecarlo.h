@@ -33,6 +33,13 @@ struct McConfig {
   std::uint64_t target_failures = 0;
   bool verify_against_golden = true;
 
+  // Rare-event hook (exp/rare_event): when >= 0, every interval injects
+  // exactly this many faults at uniform distinct positions instead of a
+  // Binomial(total_bits, BER) count — i.e. the conditional fault law given
+  // the count. The stratified estimator runs one such conditional MC per
+  // fault count and reweights with the exact Binomial pmf. -1 = off.
+  std::int64_t fixed_fault_count = -1;
+
   // §VIII-B write-error mode: host writes per interval, each of which
   // flips every written bit with probability `wer` (write error rate).
   // SuDoku does not distinguish write errors from retention errors; with

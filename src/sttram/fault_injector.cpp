@@ -6,7 +6,11 @@ namespace sudoku {
 
 FaultBatch FaultInjector::sample_interval(Rng& rng) const {
   const std::uint64_t total_bits = num_lines_ * bits_per_line_;
-  const std::uint64_t nfaults = rng.next_binomial(total_bits, ber_);
+  return sample_exact(rng, rng.next_binomial(total_bits, ber_));
+}
+
+FaultBatch FaultInjector::sample_exact(Rng& rng, std::uint64_t nfaults) const {
+  const std::uint64_t total_bits = num_lines_ * bits_per_line_;
 
   // Draw distinct flat positions, re-drawing on collision. Rejection
   // sampling conditions the joint distribution on "all positions

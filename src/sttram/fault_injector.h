@@ -37,6 +37,14 @@ class FaultInjector {
   // Sample one scrub interval's worth of faults.
   FaultBatch sample_interval(Rng& rng) const;
 
+  // Sample exactly `nfaults` distinct uniform positions — the conditional
+  // distribution of an interval's faults given its Binomial count. Used by
+  // the rare-event estimator (exp/rare_event), which draws counts from a
+  // tilted distribution and reweights: conditioned placement is what makes
+  // the count-stratified estimator exactly unbiased. Consumes the same RNG
+  // draws as the placement phase of sample_interval.
+  FaultBatch sample_exact(Rng& rng, std::uint64_t nfaults) const;
+
   // Apply a batch to a stored array (flip the bits).
   static void apply(const FaultBatch& batch, SttramArray& array);
 

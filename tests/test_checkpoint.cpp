@@ -67,6 +67,51 @@ TEST(AtomicFile, ThrowsWhenDirectoryMissing) {
   EXPECT_THROW(atomic_write_file(dir / "x.json", "data"), std::runtime_error);
 }
 
+// Cross-process contract (docs/fleet.md): rename(2) replaces the target
+// atomically, so concurrent publishers of the same path — fleet siblings
+// emitting the same artifact — always leave one COMPLETE payload behind,
+// never a mix, and their pid/thread-unique temp files never collide.
+TEST(AtomicFile, ConcurrentWritersLeaveOneCompletePayload) {
+  const auto dir = fresh_dir("atomic_race");
+  std::filesystem::create_directories(dir);
+  const auto path = dir / "artifact.json";
+  const std::string payloads[2] = {std::string(4096, 'A'),
+                                   std::string(4096, 'B')};
+  std::thread writers[2];
+  for (int w = 0; w < 2; ++w) {
+    writers[w] = std::thread([&, w] {
+      for (int i = 0; i < 50; ++i) atomic_write_file(path, payloads[w]);
+    });
+  }
+  for (auto& t : writers) t.join();
+  const std::string final = slurp(path);
+  EXPECT_TRUE(final == payloads[0] || final == payloads[1]);
+  // Nothing staged left behind: the only directory entry is the artifact.
+  std::size_t entries = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    (void)e;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(AtomicFile, ExclusiveCreateIsAnExclusiveAtom) {
+  const auto dir = fresh_dir("atomic_excl");
+  std::filesystem::create_directories(dir);
+  const auto path = dir / "claim";
+  EXPECT_TRUE(atomic_create_file(path, "owner-1"));
+  EXPECT_FALSE(atomic_create_file(path, "owner-2"));  // exists -> refused
+  EXPECT_EQ(slurp(path), "owner-1");                  // loser changed nothing
+  std::filesystem::remove(path);
+  EXPECT_TRUE(atomic_create_file(path, "owner-3"));
+  // Unlike atomic_write_file, a missing parent directory is an error the
+  // caller must hear about (the claim would silently never exist).
+  EXPECT_THROW(atomic_create_file(dir / "no_dir" / "claim", "x"),
+               std::runtime_error);
+  std::filesystem::remove_all(dir);
+}
+
 // ---- json_parse --------------------------------------------------------
 
 TEST(JsonParse, LargeU64SurvivesExactly) {

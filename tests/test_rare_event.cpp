@@ -1,0 +1,271 @@
+// Importance-sampled rare-event estimator (src/exp/rare_event.h): the
+// likelihood-ratio math against closed forms, the stratified estimator
+// against unweighted MC within joint confidence intervals, determinism,
+// and the effective-sample-size win that justifies the machinery.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/prob.h"
+#include "exp/mc_experiments.h"
+#include "exp/rare_event.h"
+#include "reliability/analytical.h"
+#include "reliability/montecarlo.h"
+#include "sttram/fault_injector.h"
+
+namespace sudoku::exp {
+namespace {
+
+using reliability::McConfig;
+using sudoku::FaultInjector;
+
+// ---- planning ----------------------------------------------------------
+
+TEST(RareEventPlan, DeterministicAndCoversTheTargetSupport) {
+  StratifyParams params;
+  params.total_bits = 64.0 * 553.0;
+  params.ber = 5.3e-6;
+  params.trials = 20000;
+  params.min_count = 4;
+
+  const auto a = plan_strata(params);
+  const auto b = plan_strata(params);
+  ASSERT_EQ(a.strata.size(), b.strata.size());
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < a.strata.size(); ++i) {
+    EXPECT_EQ(a.strata[i].count, b.strata[i].count);
+    EXPECT_EQ(a.strata[i].trials, b.strata[i].trials);
+    EXPECT_GE(a.strata[i].trials, params.min_stratum_trials);
+    if (i > 0) EXPECT_GT(a.strata[i].count, a.strata[i - 1].count);
+    total += a.strata[i].trials;
+  }
+  EXPECT_EQ(a.strata.front().count, params.min_count);
+  EXPECT_GE(total, params.trials);  // floors may overshoot, never undershoot
+  // Truncation bias bound: tiny relative to the base tail at min_count.
+  const double tail = std::exp(log_binom_tail_ge(
+      params.total_bits, static_cast<double>(params.min_count), params.ber));
+  EXPECT_LT(a.excluded_mass, 1e-6 * tail + 1e-300);
+}
+
+TEST(RareEventPlan, RejectsDegenerateInputs) {
+  StratifyParams params;
+  params.total_bits = 0;
+  params.ber = 1e-4;
+  EXPECT_THROW(plan_strata(params), std::runtime_error);
+  params.total_bits = 1000;
+  params.ber = 0.0;
+  EXPECT_THROW(plan_strata(params), std::runtime_error);
+  params.ber = 1e-4;
+  params.min_count = 2000;  // past the entire support
+  EXPECT_THROW(plan_strata(params), std::runtime_error);
+}
+
+// ---- likelihood-ratio math against closed forms ------------------------
+
+// Threshold toy: the unit "fails" iff the fault count reaches T. Then
+// pi_k = 1{k >= T} with zero conditional variance, so the estimate must
+// reproduce the exact Binomial tail up to the planned truncation mass.
+TEST(RareEventMath, ThresholdModelReproducesBinomialTailExactly) {
+  StratifyParams params;
+  params.total_bits = 4096;
+  params.ber = 1e-4;
+  params.trials = 2000;
+  params.min_count = 2;
+
+  const auto plan = plan_strata(params);
+  constexpr std::uint64_t kThreshold = 3;
+  const auto est = run_stratified(
+      plan, /*seed=*/1, [](std::uint64_t count, Rng&) { return count >= kThreshold; });
+
+  const double exact = std::exp(log_binom_tail_ge(
+      params.total_bits, static_cast<double>(kThreshold), params.ber));
+  EXPECT_NEAR(est.p_unit, exact, est.excluded_mass + 1e-15 * exact);
+  EXPECT_EQ(est.ci95_unit(), est.ci95_unit());  // finite (not NaN)
+}
+
+// Bernoulli-thinning toy: given k faults each "matters" independently with
+// probability q, failing iff any matters: pi_k = 1 - (1-q)^k. Closed form:
+// P[fail] = 1 - ((1-p) + p(1-q))^N = 1 - (1 - pq)^N. Exercises the
+// weighted recombination with genuinely noisy per-stratum estimates.
+TEST(RareEventMath, ThinnedModelMatchesClosedFormWithinCi) {
+  StratifyParams params;
+  params.total_bits = 8192;
+  params.ber = 2e-4;
+  params.trials = 30000;
+  params.min_count = 1;
+
+  const double q = 0.05;
+  const auto plan = plan_strata(params);
+  const auto est = run_stratified(plan, /*seed=*/5,
+                                  [&](std::uint64_t count, Rng& rng) {
+                                    for (std::uint64_t i = 0; i < count; ++i) {
+                                      if (rng.next_double() < q) return true;
+                                    }
+                                    return false;
+                                  });
+
+  const double exact =
+      -std::expm1(params.total_bits * std::log1p(-params.ber * q));
+  EXPECT_NEAR(est.p_unit, exact, est.ci95_unit() + est.excluded_mass);
+  EXPECT_GT(est.ess, 0.0);
+}
+
+// ECC-k block toy (what bench_table2 cross-checks at the operating point):
+// 64 independent lines, a line fails past k faults. Closed form is the
+// lifted per-line Binomial tail.
+TEST(RareEventMath, EccBlockToyMatchesClosedFormWithinCi) {
+  const int k = 1;
+  const std::uint64_t block_lines = 64;
+  const std::uint32_t line_bits = 522;
+  const double ber = 5.3e-6;
+
+  StratifyParams params;
+  params.total_bits = static_cast<double>(block_lines) * line_bits;
+  params.ber = ber;
+  params.trials = 20000;
+  params.min_count = static_cast<std::uint64_t>(k) + 1;
+
+  const auto plan = plan_strata(params);
+  FaultInjector injector(block_lines, line_bits, ber);
+  const auto est = run_stratified(
+      plan, /*seed=*/11, [&](std::uint64_t count, Rng& rng) {
+        const auto batch = injector.sample_exact(rng, count);
+        for (const auto& [line, bits] : batch) {
+          if (bits.size() > static_cast<std::size_t>(k)) return true;
+        }
+        return false;
+      });
+
+  const double p_line =
+      std::exp(reliability::log_p_line_ge(line_bits, k + 1, ber));
+  const double exact = lift_units(p_line, static_cast<double>(block_lines));
+  EXPECT_NEAR(est.p_unit, exact, est.ci95_unit() + est.excluded_mass);
+  // ECC-1 at p~2.4e-4 is only moderately rare, so the win here is modest;
+  // the 100x acceptance bar lives at the fig7 operating point
+  // (RareEventEngine.OperatingPointEssBeatsUnweightedBy100x).
+  EXPECT_GT(est.ess, 10.0 * static_cast<double>(est.trials));
+}
+
+TEST(RareEventMath, DeterministicForFixedSeed) {
+  StratifyParams params;
+  params.total_bits = 4096;
+  params.ber = 1e-4;
+  params.trials = 5000;
+  params.min_count = 1;
+  const auto plan = plan_strata(params);
+  const auto trial = [](std::uint64_t count, Rng& rng) {
+    return count >= 2 && rng.next_double() < 0.3;
+  };
+  const auto a = run_stratified(plan, 123, trial);
+  const auto b = run_stratified(plan, 123, trial);
+  EXPECT_EQ(a.p_unit, b.p_unit);
+  EXPECT_EQ(a.var_unit, b.var_unit);
+  const auto c = run_stratified(plan, 124, trial);
+  EXPECT_NE(a.p_unit, c.p_unit);  // the seed actually feeds the streams
+}
+
+// ---- full-controller estimator -----------------------------------------
+
+// Same system measured both ways at a BER where unweighted MC still sees
+// events: the estimates must agree within the joint 95% interval. This is
+// ISSUE 8's cross-validation acceptance criterion in test form.
+TEST(RareEventEngine, AgreesWithUnweightedMcWithinJointCi) {
+  McConfig cfg;
+  cfg.cache.num_lines = 64;
+  cfg.cache.group_size = 64;
+  cfg.cache.ber = 1e-4;
+  cfg.level = SudokuLevel::kX;
+  cfg.max_intervals = 8000;
+  cfg.seed = 424;
+
+  const auto unweighted = run_montecarlo_parallel(cfg, {});
+  const double p_mc = unweighted.p_failure_per_interval();
+  const double var_mc =
+      p_mc * (1.0 - p_mc) / static_cast<double>(unweighted.intervals);
+
+  RareEventConfig recfg;
+  recfg.base = cfg;
+  recfg.trials = 8000;
+  recfg.min_count = 4;  // SuDoku-X: a DUE needs two 2-fault lines
+  const auto est = run_rare_event(recfg);
+
+  const double joint = 1.96 * std::sqrt(est.var_unit + var_mc);
+  EXPECT_NEAR(est.p_unit, p_mc, joint + est.excluded_mass);
+  // BER 1e-4 is deliberately NOT rare (the unweighted side needs events to
+  // compare against), so stratification only breaks even here — its win is
+  // asserted where it matters, at the operating point below. This guards
+  // against the estimator being catastrophically *worse*.
+  EXPECT_LT(est.var_unit, 4.0 * var_mc);
+}
+
+// At the paper's operating point (fig7's lowest-BER point, 5.3e-6) the
+// acceptance bar: effective sample size at least 100x the same number of
+// unweighted trials.
+TEST(RareEventEngine, OperatingPointEssBeatsUnweightedBy100x) {
+  RareEventConfig recfg;
+  recfg.base.cache.num_lines = 64;
+  recfg.base.cache.group_size = 64;
+  recfg.base.cache.ber = 5.3e-6;
+  recfg.base.level = SudokuLevel::kX;
+  recfg.base.seed = 41;
+  recfg.trials = 8000;
+  recfg.min_count = 4;
+
+  const auto est = run_rare_event(recfg);
+  EXPECT_GE(est.ess, 100.0 * static_cast<double>(est.trials));
+  // And the estimate itself must sit on the analytical value — wide bound
+  // (3 sigma + truncation) so only genuine breakage trips it.
+  const auto cp = recfg.base.cache;
+  const double analytic = reliability::sudoku_x_due(cp).p_interval();
+  EXPECT_NEAR(est.p_unit, analytic,
+              3.0 * std::sqrt(est.var_unit) + est.excluded_mass + 0.5 * analytic);
+}
+
+TEST(RareEventEngine, ThreadCountDoesNotChangeTheEstimate) {
+  RareEventConfig recfg;
+  recfg.base.cache.num_lines = 64;
+  recfg.base.cache.group_size = 64;
+  recfg.base.cache.ber = 1e-4;
+  recfg.base.level = SudokuLevel::kX;
+  recfg.base.seed = 99;
+  recfg.trials = 2000;
+  recfg.min_count = 4;
+
+  ExpOptions one;
+  one.threads = 1;
+  ExpOptions three;
+  three.threads = 3;
+  const auto a = run_rare_event(recfg, one);
+  const auto b = run_rare_event(recfg, three);
+  EXPECT_EQ(a.p_unit, b.p_unit);
+  EXPECT_EQ(a.var_unit, b.var_unit);
+  EXPECT_EQ(a.trials, b.trials);
+}
+
+TEST(RareEventEngine, RejectsWriteErrorMode) {
+  RareEventConfig recfg;
+  recfg.base.cache.num_lines = 64;
+  recfg.base.cache.group_size = 64;
+  recfg.base.host_writes_per_interval = 10;
+  recfg.base.wer = 1e-6;
+  EXPECT_THROW(run_rare_event(recfg), std::runtime_error);
+}
+
+// ---- lifting -----------------------------------------------------------
+
+TEST(RareEventLift, MatchesIndependentCompositionAndPropagatesVariance) {
+  EXPECT_DOUBLE_EQ(lift_units(0.0, 1000), 0.0);
+  EXPECT_DOUBLE_EQ(lift_units(1.0, 1000), 1.0);
+  const double p = 3e-4;
+  EXPECT_NEAR(lift_units(p, 64), 1.0 - std::pow(1.0 - p, 64), 1e-13);
+  // Delta method: slope^2 * var, slope = n(1-p)^(n-1).
+  const double var = 1e-10;
+  const double slope = 64.0 * std::pow(1.0 - p, 63.0);
+  EXPECT_NEAR(lift_units_variance(p, var, 64), slope * slope * var, 1e-20);
+  // Small-p regime: lifting ~multiplies by n (second-order term ~n^2 p^2 / 2).
+  EXPECT_NEAR(lift_units(1e-12, 16384), 16384e-12, 1e-15);
+}
+
+}  // namespace
+}  // namespace sudoku::exp

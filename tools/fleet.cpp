@@ -1,0 +1,210 @@
+// Fleet launcher: spawn N copies of one worker command against a shared
+// checkpoint store and keep the fleet at strength until the experiment
+// completes.
+//
+//   fleet --jobs=N [--max-restarts=M] -- <worker command...>
+//
+// The worker command is expected to be an engine-backed bench invoked with
+// --checkpoint=DIR --fleet: each process claims shards through the
+// checkpoint store's work queue (src/exp/work_queue.h), so N processes
+// split one campaign and every finisher runs the same deterministic merge.
+// The launcher's job is purely supervision:
+//
+//   exit 0   worker finished (artifact written) — not respawned
+//   exit 75  worker checkpointed and stopped (SIGINT/SIGTERM, EX_TEMPFAIL)
+//            — respawned with --resume until --max-restarts is exhausted
+//   SIGTERM/SIGINT/SIGKILL death — treated like exit 75: the worker lost
+//            its in-flight shard only (siblings steal its stale claim
+//            after the lease), so a respawn rejoins cleanly
+//   anything else — hard failure; the rest of the fleet keeps running
+//            (the experiment still completes — claims are released or go
+//            stale) but the launcher reports it and exits 1
+//
+// The launcher itself forwards SIGINT/SIGTERM to the whole fleet, waits,
+// and exits 75 so a supervising script can resume the entire fleet.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace {
+
+constexpr int kExitResumable = 75;  // EX_TEMPFAIL, same code the benches use
+
+volatile std::sig_atomic_t g_interrupted = 0;
+void on_signal(int) { g_interrupted = 1; }
+
+struct Worker {
+  pid_t pid = -1;
+  int restarts = 0;
+  bool finished = false;  // exit 0 seen
+  bool failed = false;    // hard failure seen
+};
+
+pid_t spawn(const std::vector<std::string>& cmd) {
+  std::vector<char*> argv;
+  argv.reserve(cmd.size() + 1);
+  for (const auto& a : cmd) argv.push_back(const_cast<char*>(a.c_str()));
+  argv.push_back(nullptr);
+  const pid_t pid = fork();
+  if (pid == 0) {
+    execvp(argv[0], argv.data());
+    std::perror("fleet: execvp");
+    _exit(127);
+  }
+  return pid;
+}
+
+bool resumable_signal(int sig) {
+  return sig == SIGTERM || sig == SIGINT || sig == SIGKILL || sig == SIGHUP;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: fleet --jobs=N [--max-restarts=M] -- <worker command...>\n"
+               "\n"
+               "Runs N copies of the worker command; the workers coordinate\n"
+               "through a shared checkpoint store, so the command should be an\n"
+               "engine-backed bench with --checkpoint=DIR --fleet. Workers that\n"
+               "exit 75 (interrupted, checkpointed) or die from SIGTERM/SIGINT/\n"
+               "SIGKILL are respawned with --resume, up to M times each\n"
+               "(default 4). Exit: 0 all workers finished, 75 fleet interrupted\n"
+               "(resumable), 1 hard worker failure or restarts exhausted.\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int jobs = 0;
+  int max_restarts = 4;
+  std::vector<std::string> cmd;
+  int i = 1;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--") {
+      ++i;
+      break;
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      jobs = std::atoi(arg.c_str() + 7);
+    } else if (arg.rfind("--max-restarts=", 0) == 0) {
+      max_restarts = std::atoi(arg.c_str() + 15);
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "fleet: unknown argument '%s'\n", arg.c_str());
+      return usage();
+    }
+  }
+  for (; i < argc; ++i) cmd.emplace_back(argv[i]);
+  if (jobs < 1 || cmd.empty()) return usage();
+
+  // Respawn command: same invocation plus --resume, so a rejoining worker
+  // replays its own finished shards instantly instead of waiting to adopt
+  // them through the queue.
+  std::vector<std::string> resume_cmd = cmd;
+  bool has_resume = false;
+  for (const auto& a : cmd) has_resume = has_resume || a == "--resume";
+  if (!has_resume) resume_cmd.emplace_back("--resume");
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  std::vector<Worker> fleet(static_cast<std::size_t>(jobs));
+  for (auto& w : fleet) {
+    w.pid = spawn(cmd);
+    std::fprintf(stderr, "fleet: worker %ld started (pid %ld)\n",
+                 static_cast<long>(&w - fleet.data()), static_cast<long>(w.pid));
+  }
+
+  bool forwarded = false;
+  int running = jobs;
+  bool hard_failure = false;
+  while (running > 0) {
+    if (g_interrupted && !forwarded) {
+      std::fprintf(stderr, "fleet: interrupted — forwarding to %d worker(s)\n",
+                   running);
+      for (const auto& w : fleet) {
+        if (!w.finished && !w.failed && w.pid > 0) kill(w.pid, SIGTERM);
+      }
+      forwarded = true;
+    }
+    int status = 0;
+    const pid_t pid = waitpid(-1, &status, 0);
+    if (pid < 0) {
+      if (errno == EINTR) continue;  // signal arrived — loop to forward it
+      break;                         // no children left (shouldn't happen)
+    }
+    Worker* w = nullptr;
+    for (auto& cand : fleet) {
+      if (cand.pid == pid) w = &cand;
+    }
+    if (w == nullptr) continue;  // not ours
+    const long id = w - fleet.data();
+
+    bool resumable = false;
+    if (WIFEXITED(status)) {
+      const int code = WEXITSTATUS(status);
+      if (code == 0) {
+        std::fprintf(stderr, "fleet: worker %ld finished\n", id);
+        w->finished = true;
+        --running;
+        continue;
+      }
+      resumable = code == kExitResumable;
+      if (!resumable) {
+        std::fprintf(stderr, "fleet: worker %ld failed (exit %d)\n", id, code);
+      }
+    } else if (WIFSIGNALED(status)) {
+      resumable = resumable_signal(WTERMSIG(status));
+      if (!resumable) {
+        std::fprintf(stderr, "fleet: worker %ld killed by signal %d\n", id,
+                     WTERMSIG(status));
+      }
+    }
+
+    if (resumable && !forwarded && w->restarts < max_restarts) {
+      ++w->restarts;
+      w->pid = spawn(resume_cmd);
+      std::fprintf(stderr,
+                   "fleet: worker %ld resumable exit — respawned with --resume "
+                   "(pid %ld, restart %d/%d)\n",
+                   id, static_cast<long>(w->pid), w->restarts, max_restarts);
+      continue;
+    }
+    if (resumable && forwarded) {
+      // Fleet-wide shutdown in progress: the worker checkpointed, don't
+      // bring it back.
+      --running;
+      continue;
+    }
+    if (resumable) {
+      std::fprintf(stderr, "fleet: worker %ld out of restarts (%d)\n", id,
+                   max_restarts);
+    }
+    w->failed = true;
+    hard_failure = true;
+    --running;
+  }
+
+  if (forwarded) {
+    std::fprintf(stderr, "fleet: interrupted — resume with the same command\n");
+    return kExitResumable;
+  }
+  int ok = 0;
+  for (const auto& w : fleet) ok += w.finished ? 1 : 0;
+  if (hard_failure) {
+    std::fprintf(stderr, "fleet: %d/%d workers finished, with failures\n", ok,
+                 jobs);
+    return 1;
+  }
+  std::fprintf(stderr, "fleet: all %d workers finished\n", jobs);
+  return 0;
+}
