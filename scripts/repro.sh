@@ -88,6 +88,7 @@ ablation_group_size . . .
 ablation_features   T . .
 ablation_inner_ecc  . . .
 scrub_bandwidth     . . metrics.scrub.sweep_wall_ns
+scenario_matrix     T slow .
 "
 
 if [ "$SKIP_BUILD" -eq 0 ]; then

@@ -8,6 +8,7 @@
 #include <functional>
 
 #include "baselines/scheme.h"
+#include "faults/scenario.h"
 #include "obs/metrics.h"
 
 namespace sudoku::baselines {
@@ -25,6 +26,14 @@ struct BaselineMcConfig {
   bool per_trial_seed_streams = false;
   std::uint64_t first_trial = 0;
   std::function<bool()> stop_hook;  // checked per interval; true = abandon
+
+  // Mixed-fault mode — same contract as reliability::McConfig::scenario:
+  // interval t's faults come from the scenario (keyed by the global trial
+  // index), stuck cells are re-asserted after every scrub, and each
+  // interval ends restored to canonical state. The scenario's geometry
+  // must match the scheme's (num_units x bits_per_unit); `ber` is ignored
+  // when set. Immutable and shareable across shards.
+  const faults::FaultScenario* scenario = nullptr;
 };
 
 struct BaselineMcResult {

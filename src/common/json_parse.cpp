@@ -1,9 +1,9 @@
-#include "exp/json_parse.h"
+#include "common/json_parse.h"
 
 #include <cerrno>
 #include <cstdlib>
 
-namespace sudoku::exp {
+namespace sudoku {
 
 namespace {
 
@@ -259,4 +259,4 @@ std::optional<JsonValue> json_parse(std::string_view text, std::string* error) {
   return Parser(text).run(error);
 }
 
-}  // namespace sudoku::exp
+}  // namespace sudoku

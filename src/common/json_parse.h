@@ -1,0 +1,56 @@
+// Minimal JSON parser for reading back artifacts the exp emitter wrote —
+// checkpoint payloads above all. The emitter (exp/json.h) stays the only
+// writer; this is the matching reader, and the pair round-trips exactly:
+// numbers keep their raw source text so u64 counters survive values beyond
+// 2^53 and doubles reparse (strtod) to the identical bit pattern the
+// round-trip-safe emitter printed.
+//
+// Deliberately small: UTF-8 pass-through strings, \uXXXX escapes for the
+// BMP, no surrogate pairs (the emitter never produces them), bounded
+// nesting depth. Malformed input yields std::nullopt with a diagnostic —
+// never an exception or abort — because the main consumer is crash
+// recovery, where a torn file must mean "recompute", not "die again".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sudoku {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  // For kNumber: the raw source text (parse with as_u64/as_double).
+  // For kString: the decoded string contents.
+  std::string scalar;
+  std::vector<JsonValue> items;                             // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;   // kObject
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_bool() const { return kind == Kind::kBool; }
+
+  // Object member lookup (nullptr when absent or not an object).
+  const JsonValue* find(const std::string& key) const;
+
+  // Numeric accessors. Return std::nullopt when the value is not a number
+  // of the requested shape (e.g. as_u64 on "-3" or "1.5").
+  std::optional<std::uint64_t> as_u64() const;
+  std::optional<double> as_double() const;
+};
+
+// Parse a complete JSON document (leading/trailing whitespace allowed; any
+// trailing garbage is an error). On failure returns std::nullopt and, when
+// `error` is non-null, stores a short human-readable diagnostic.
+std::optional<JsonValue> json_parse(std::string_view text,
+                                    std::string* error = nullptr);
+
+}  // namespace sudoku

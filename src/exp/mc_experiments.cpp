@@ -50,6 +50,9 @@ std::uint64_t hash_mc_config(const reliability::McConfig& c, std::uint64_t chunk
   feed(os, static_cast<std::uint64_t>(c.fixed_fault_count + 1));
   feed(os, c.host_writes_per_interval);
   feed(os, c.wer);
+  // Scenario identity (spec + geometry + seed): checkpoints recorded under
+  // one fault scenario must never be adopted by a run under another.
+  feed(os, c.scenario ? c.scenario->fingerprint() : std::uint64_t{0});
   feed(os, chunk);  // the shard plan is part of the key
   return fnv1a64(os.str());
 }
@@ -62,6 +65,7 @@ std::uint64_t hash_baseline_config(const baselines::BaselineMcConfig& c,
   feed(os, c.max_intervals);
   feed(os, c.target_failures);
   feed(os, c.seed);
+  feed(os, c.scenario ? c.scenario->fingerprint() : std::uint64_t{0});
   feed(os, chunk);
   return fnv1a64(os.str());
 }

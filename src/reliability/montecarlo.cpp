@@ -1,6 +1,8 @@
 #include "reliability/montecarlo.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 #include "common/prob.h"
@@ -69,11 +71,28 @@ McResult run_montecarlo(const McConfig& config) {
   FaultInjector injector(config.cache.num_lines, ctrl.codec().total_bits(),
                          config.cache.ber);
 
+  if (config.scenario) {
+    const faults::Geometry& g = config.scenario->geometry();
+    if (g.num_units != config.cache.num_lines ||
+        g.bits_per_unit != ctrl.codec().total_bits()) {
+      std::fprintf(stderr,
+                   "run_montecarlo: scenario geometry (%llu x %u) does not "
+                   "match the cache (%llu x %u)\n",
+                   static_cast<unsigned long long>(g.num_units), g.bits_per_unit,
+                   static_cast<unsigned long long>(config.cache.num_lines),
+                   ctrl.codec().total_bits());
+      std::abort();
+    }
+  }
+
   McResult result;
   obs::Counter* m_intervals = nullptr;
   obs::Counter* m_sdc = nullptr;
   obs::Counter* m_failure_intervals = nullptr;
   obs::Histogram* m_faults_per_interval = nullptr;
+  obs::Counter* m_scn_transient = nullptr;
+  obs::Counter* m_scn_stuck = nullptr;
+  obs::Counter* m_scn_cluster = nullptr;
 #if SUDOKU_OBS_ENABLED
   // The controller writes its sudoku.* series straight into the result's
   // registry; everything recorded is a deterministic event count, so the
@@ -84,14 +103,102 @@ McResult run_montecarlo(const McConfig& config) {
   m_failure_intervals = result.metrics.counter("mc.failure_intervals");
   m_faults_per_interval = result.metrics.histogram(
       "mc.faults_per_interval", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0});
+  if (config.scenario) {
+    // Scenario-only series (faults.*): created lazily so legacy runs keep
+    // their exact artifact schema.
+    m_scn_transient = result.metrics.counter("faults.transient_bits");
+    m_scn_stuck = result.metrics.counter("faults.stuck_cells");
+    m_scn_cluster = result.metrics.counter("faults.cluster_events");
+  }
 #endif
   std::vector<std::uint64_t> touched;
+  std::vector<std::uint64_t> dirty;
   for (std::uint64_t interval = 0; interval < config.max_intervals; ++interval) {
     if (config.stop_hook && config.stop_hook()) break;
     if (config.per_trial_seed_streams) {
       rng.reseed(
           Rng::derive_stream_seed(config.seed, config.first_trial + interval));
     }
+
+    if (config.scenario) {
+      // Mixed-fault interval. All randomness comes from the scenario's own
+      // per-(source, interval) streams keyed by the global trial index, so
+      // the outcome is independent of sharding.
+      const std::uint64_t t = config.first_trial + interval;
+      faults::ScenarioTick tick;
+      const auto batch = config.scenario->transient(t, &tick);
+      const faults::ActiveStuck stuck = config.scenario->stuck(t);
+      result.faults_injected += tick.transient_bits;
+      OBS_OBSERVE(m_faults_per_interval, tick.transient_bits);
+      OBS_ADD(m_scn_transient, tick.transient_bits);
+      OBS_ADD(m_scn_stuck, stuck.cells().size());
+      OBS_ADD(m_scn_cluster, tick.cluster_events);
+      FaultInjector::apply(batch, ctrl.array());
+      stuck.assert_on(ctrl.array());
+
+      touched.clear();
+      touched.reserve(batch.size() + stuck.units().size());
+      for (const auto& [line, bits] : batch) touched.push_back(line);
+      touched.insert(touched.end(), stuck.units().begin(), stuck.units().end());
+      std::sort(touched.begin(), touched.end());
+      touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+
+      const auto stats = ctrl.scrub_lines(touched);
+      result.ecc1_corrections += stats.ecc1_corrections;
+      result.raid4_repairs += stats.raid4_repairs;
+      result.sdr_repairs += stats.sdr_repairs;
+      result.hash2_invocations += stats.hash2_invocations;
+      result.groups_repaired += stats.groups_repaired;
+      result.due_lines += stats.due_lines;
+      // The scrub wrote good values over stuck cells, but those cells do
+      // not hold them: re-assert before classifying, so a stuck bit is
+      // never mistaken for repaired state — nor for silent corruption
+      // (equal_outside_stuck masks the stuck positions).
+      stuck.assert_on(ctrl.array());
+
+      bool interval_failed = stats.due_lines > 0;
+      const auto& due_ids = stats.due_line_ids;
+      const auto is_due = [&due_ids](std::uint64_t line) {
+        return std::find(due_ids.begin(), due_ids.end(), line) != due_ids.end();
+      };
+      if (config.verify_against_golden) {
+        for (const auto line : touched) {
+          if (is_due(line)) continue;
+          if (ctrl.array().line_equals(line, golden.read_line(line))) continue;
+          if (!stuck.equal_outside_stuck(line, ctrl.array().read_line(line),
+                                         golden.read_line(line))) {
+            ++result.sdc_lines;
+            OBS_INC(m_sdc);
+            interval_failed = true;
+          }
+        }
+      }
+      // Canonical-state restore: every interval starts from array == golden
+      // with consistent parities, so interval t depends only on its own
+      // seed streams — the shard-split reproducibility contract. (The
+      // restore also models the refill of DUE lines from the next level.)
+      dirty.clear();
+      for (const auto line : touched) {
+        if (!ctrl.array().line_equals(line, golden.read_line(line))) {
+          ctrl.array().write_line(line, golden.read_line(line));
+          dirty.push_back(line);
+        }
+      }
+      ctrl.rebuild_parities_for(dirty);
+
+      if (interval_failed) {
+        ++result.failure_intervals;
+        OBS_INC(m_failure_intervals);
+      }
+      ++result.intervals;
+      OBS_INC(m_intervals);
+      if (config.target_failures != 0 &&
+          result.failure_intervals >= config.target_failures) {
+        break;
+      }
+      continue;
+    }
+
     const auto batch =
         config.fixed_fault_count >= 0
             ? injector.sample_exact(

@@ -18,6 +18,7 @@
 #include <functional>
 #include <string>
 
+#include "faults/scenario.h"
 #include "obs/metrics.h"
 #include "reliability/analytical.h"
 #include "sudoku/controller.h"
@@ -47,6 +48,17 @@ struct McConfig {
   // tests and bench_ablation_features.
   std::uint64_t host_writes_per_interval = 0;
   double wer = 0.0;
+
+  // Mixed-fault mode (src/faults, ROADMAP item 4): when set, interval t's
+  // faults come from the scenario instead of the i.i.d. injector —
+  // transient flips (XOR-merged across sources) plus stuck cells that are
+  // re-asserted after every repair. Each interval starts and ends in
+  // canonical state (array == golden outside stuck cells, parities
+  // consistent), so shard splits stay bit-reproducible. The scenario's
+  // geometry must match the cache geometry; fixed_fault_count and
+  // host_writes_per_interval are ignored in scenario mode. The pointed-to
+  // scenario is immutable and shared by all shards of a parallel run.
+  const faults::FaultScenario* scenario = nullptr;
 
   // ---- experiment-engine hooks (src/exp) ----
   // When set, interval t draws all of its randomness from a fresh Rng

@@ -17,6 +17,14 @@ const char* to_string(ReadStatus status) {
 
 namespace {
 
+ScrubReport to_report(ScrubStats stats) {
+  ScrubReport report;
+  report.due = stats.due_lines;
+  report.due_units = std::move(stats.due_line_ids);
+  report.repaired_units = std::move(stats.repaired_line_ids);
+  return report;
+}
+
 class SudokuBackend final : public Backend {
  public:
   explicit SudokuBackend(const SudokuConfig& config) : ctrl_(config) {}
@@ -59,15 +67,17 @@ class SudokuBackend final : public Backend {
     ctrl_.write_data(line, data512);
   }
 
-  std::uint64_t scrub_units(std::span<const std::uint64_t> units) override {
-    return ctrl_.scrub_lines(units).due_lines;
+  ScrubReport scrub_units_report(std::span<const std::uint64_t> units) override {
+    return to_report(ctrl_.scrub_lines(units));
   }
 
-  std::uint64_t scrub_all() override { return ctrl_.scrub_all().due_lines; }
+  ScrubReport scrub_all_report() override { return to_report(ctrl_.scrub_all()); }
 
   void inject(const FaultBatch& batch) override {
     FaultInjector::apply(batch, ctrl_.array());
   }
+
+  SttramArray& raw_array() override { return ctrl_.array(); }
 
   bool try_clean_read(std::uint64_t line, BitVec& stored_scratch,
                       BitVec& data_out) const override {
@@ -129,19 +139,27 @@ class HiEccBackend final : public Backend {
     cache_.write_line_data(line, data512);
   }
 
-  std::uint64_t scrub_units(std::span<const std::uint64_t> units) override {
-    return cache_.scrub_units(units).due_units;
+  ScrubReport scrub_units_report(std::span<const std::uint64_t> units) override {
+    auto stats = cache_.scrub_units(units);
+    ScrubReport report;
+    report.due = stats.due_units;
+    report.due_units = std::move(stats.due_unit_ids);
+    // BaselineStats does not track which units were corrected in place, so
+    // Hi-ECC retirement strikes come only from DUE units and read outcomes.
+    return report;
   }
 
-  std::uint64_t scrub_all() override {
+  ScrubReport scrub_all_report() override {
     std::vector<std::uint64_t> all(cache_.num_units());
     for (std::uint64_t i = 0; i < all.size(); ++i) all[i] = i;
-    return cache_.scrub_units(all).due_units;
+    return scrub_units_report(all);
   }
 
   void inject(const FaultBatch& batch) override {
     FaultInjector::apply(batch, cache_.array());
   }
+
+  SttramArray& raw_array() override { return cache_.array(); }
 
   bool try_clean_read(std::uint64_t line, BitVec& stored_scratch,
                       BitVec& data_out) const override {

@@ -18,6 +18,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "common/bitvec.h"
 #include "obs/metrics.h"
@@ -38,6 +39,18 @@ const char* to_string(ReadStatus status);
 struct ReadReply {
   BitVec data;  // 512 bits; zeroed when kDue
   ReadStatus status = ReadStatus::kClean;
+};
+
+// What a scrub pass found, at fault-unit granularity. The service's
+// retirement policy consumes the ids: a unit that keeps appearing in
+// `repaired_units` is a repair that did not stick — a suspected permanent
+// fault (see docs/faults.md).
+struct ScrubReport {
+  std::uint64_t due = 0;                      // units declared uncorrectable
+  std::vector<std::uint64_t> due_units;       // their ids
+  // Units some repair wrote back (inner-code corrections, RAID/SDR
+  // victims); may contain duplicates, in repair order.
+  std::vector<std::uint64_t> repaired_units;
 };
 
 class Backend {
@@ -63,13 +76,24 @@ class Backend {
   virtual ReadReply read(std::uint64_t line) = 0;
   virtual void write(std::uint64_t line, const BitVec& data512) = 0;
 
-  // Scrub the given fault units (sparse) or everything; returns the number
-  // of units declared uncorrectable.
-  virtual std::uint64_t scrub_units(std::span<const std::uint64_t> units) = 0;
-  virtual std::uint64_t scrub_all() = 0;
+  // Scrub the given fault units (sparse) or everything, reporting which
+  // units were uncorrectable and which needed a repair written back.
+  virtual ScrubReport scrub_units_report(std::span<const std::uint64_t> units) = 0;
+  virtual ScrubReport scrub_all_report() = 0;
+
+  // Count-only conveniences (the common callers only need the DUE count).
+  std::uint64_t scrub_units(std::span<const std::uint64_t> units) {
+    return scrub_units_report(units).due;
+  }
+  std::uint64_t scrub_all() { return scrub_all_report().due; }
 
   // Flip stored bits; batch keys are fault-unit ids within this bank.
   virtual void inject(const FaultBatch& batch) = 0;
+
+  // The raw stored-bit array (fault-unit granularity), for harnesses that
+  // assert stuck cells directly (faults::assert_cells). Caller must hold
+  // the owning shard's mutator bracket.
+  virtual SttramArray& raw_array() = 0;
 
   // Lock-free probe for the service's fast path: copy the stored line into
   // `stored_scratch`, and iff it is fully consistent extract the data

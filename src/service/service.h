@@ -25,6 +25,15 @@
 //    repair has retired. Demand repair (a read hitting an uncorrectable
 //    line) still runs inline — the data does not exist until the group
 //    machinery produces it — but only on the affected bank.
+//  * Graceful degradation (docs/faults.md) — lines that keep needing
+//    repair (suspected permanent faults) accumulate strikes; at the
+//    configured threshold the service retires the line, snapshotting its
+//    data into a bounded per-bank spare pool and serving it from there.
+//    When the pool is exhausted, retired lines stay in place degraded:
+//    every read demand-corrects through the backend. All retirement state
+//    mutates under the bank's mutator bracket; the lock-free fast path
+//    only ever sees a relaxed per-line retirement word and falls back to
+//    the locked path for anything retired.
 //
 // Determinism: with a single client and no background work, every
 // observable (data, statuses, stored bits) is bit-identical to driving the
@@ -38,8 +47,10 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
+#include "faults/scenario.h"
 #include "obs/metrics.h"
 #include "service/backend.h"
 
@@ -49,6 +60,16 @@ struct ServiceConfig {
   std::uint32_t banks = 4;
   std::uint32_t repair_workers = 1;     // background scrub/repair threads
   std::uint32_t fast_read_attempts = 2;  // seqlock tries before locking
+
+  // Graceful-degradation policy. retire_strikes = 0 disables retirement
+  // entirely (the default: under purely transient BER every scrub
+  // correction would count as a strike, and retiring healthy lines would
+  // change the deterministic goldens). With N > 0, a line is retired after
+  // N consecutive dirty observations (scrub found its unit DUE/repaired,
+  // or a locked read came back corrected/repaired/due) without an
+  // intervening clean scan.
+  std::uint32_t retire_strikes = 0;
+  std::uint32_t spare_lines_per_bank = 32;  // bounded remap pool per bank
 };
 
 // Per-client instrumentation context. Each client thread owns one: the
@@ -71,9 +92,36 @@ class ClientStats {
   obs::Counter* read_corrected_;   // service.read.corrected
   obs::Counter* read_repaired_;    // service.read.repaired
   obs::Counter* read_due_;         // service.read.due
+  obs::Counter* read_retired_;     // service.read.retired  (served from spare)
+  obs::Counter* read_degraded_;    // service.read.degraded (retired, no spare)
   obs::Counter* writes_;           // service.write.count
   BitVec stored_scratch_;
   BitVec data_scratch_;
+};
+
+// Degraded-capacity accounting (see degradation_report()). A mapped
+// retired line still serves full-fidelity data from its spare; an
+// unmapped one survives only as well as the backend's demand correction.
+struct BankDegradation {
+  std::uint32_t bank = 0;
+  std::uint64_t retired_mapped = 0;    // remapped into the spare pool
+  std::uint64_t retired_unmapped = 0;  // pool exhausted; degraded in place
+  std::uint64_t spare_capacity = 0;
+  std::vector<std::uint64_t> retired_lines;  // sorted line ids, both kinds
+};
+
+struct DegradationReport {
+  std::vector<BankDegradation> banks;
+  std::uint64_t total_lines = 0;
+  std::uint64_t retired_mapped = 0;
+  std::uint64_t retired_unmapped = 0;
+  // Fraction of the address space still served at full fidelity (spares
+  // count as full fidelity; unmapped retired lines do not).
+  double healthy_fraction() const {
+    return total_lines == 0
+               ? 1.0
+               : 1.0 - static_cast<double>(retired_unmapped) / total_lines;
+  }
 };
 
 class MemoryService {
@@ -109,6 +157,13 @@ class MemoryService {
   // scrub_async, the touched units are queued for background repair.
   void inject_faults(std::uint32_t bank, const FaultBatch& batch, bool scrub_async);
 
+  // Assert stuck-at cells onto the bank's raw storage under the mutator
+  // bracket (permanent-fault harness; see faults::FaultScenario::stuck).
+  // When scrub_async, the touched units are queued for background repair —
+  // which is exactly how repeat-offender strikes accumulate.
+  void assert_stuck(std::uint32_t bank, std::span<const faults::StuckCell> cells,
+                    bool scrub_async);
+
   void scrub_bank_async(std::uint32_t bank);       // queue a full sweep
   std::uint64_t scrub_bank_now(std::uint32_t bank);  // synchronous; returns DUE units
   // Synchronous sparse scrub (the determinism tests mirror the MC harness
@@ -129,10 +184,19 @@ class MemoryService {
   // (no in-flight clients; drain() first).
   void merge_metrics_into(obs::MetricsRegistry& out) const;
 
+  // Degraded-capacity snapshot across all banks. Takes each bank's
+  // mutator bracket in turn; safe to call concurrently with traffic.
+  DegradationReport degradation_report();
+
   // Test hook: the bank's backend. Caller must be quiesced.
   Backend& backend(std::uint32_t bank) { return *shards_[bank]->backend; }
 
  private:
+  // Per-line retirement word: kLiveLine = normal service, kUnmappedLine =
+  // retired with the spare pool exhausted, >= 0 = index into `spares`.
+  static constexpr std::int32_t kLiveLine = -1;
+  static constexpr std::int32_t kUnmappedLine = -2;
+
   struct BankShard {
     std::unique_ptr<Backend> backend;
     std::mutex mutex;
@@ -142,6 +206,22 @@ class MemoryService {
     obs::MetricsRegistry registry;  // guarded by `mutex`
     obs::Counter* scrub_units;      // service.scrub.units
     obs::Counter* scrub_due;        // service.scrub.due_units
+    obs::Counter* retired_count;    // service.retired_lines
+    obs::Counter* pool_exhausted;   // service.retire.pool_exhausted
+
+    // Retirement state. `retired` is read by the lock-free fast path with
+    // relaxed ordering — safe because writes to retired lines still write
+    // through to the backend, so a stale kLiveLine observation only means
+    // the probe reads backend storage, which holds the latest data (and a
+    // stuck cell there fails the consistency check anyway, forcing the
+    // locked path). Everything else is guarded by `mutex`.
+    std::unique_ptr<std::atomic<std::int32_t>[]> retired;  // one per line
+    std::vector<BitVec> spares;  // retired-line payloads, slot-indexed
+    // False when the retirement snapshot was already uncorrectable: the
+    // spare holds zeros and reads report kDue (never silent corruption)
+    // until a fresh write revalidates the slot.
+    std::vector<char> spare_valid;
+    std::unordered_map<std::uint64_t, std::uint32_t> strikes;
   };
 
   struct RepairTask {
@@ -168,9 +248,17 @@ class MemoryService {
   void worker_loop(std::uint32_t worker_index);
   std::uint64_t execute_scrub(BankShard& shard, const RepairTask& task);
 
+  // Retirement plumbing; all require the shard's mutator bracket held.
+  void note_strike_locked(BankShard& shard, std::uint64_t line);
+  void retire_line_locked(BankShard& shard, std::uint64_t line);
+  void apply_scrub_report_locked(BankShard& shard, const RepairTask& task,
+                                 const ScrubReport& report);
+
   std::vector<std::unique_ptr<BankShard>> shards_;
   std::uint64_t lines_per_bank_ = 0;
   std::uint32_t fast_read_attempts_ = 2;
+  std::uint32_t retire_strikes_ = 0;
+  std::uint32_t spare_lines_per_bank_ = 0;
 
   // Repair queue: mutex/cv-parked workers (an idle service burns no CPU).
   std::mutex queue_mutex_;

@@ -1,5 +1,8 @@
 #include "sttram/fault_injector.h"
 
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
 #include <unordered_set>
 
 namespace sudoku {
@@ -11,6 +14,19 @@ FaultBatch FaultInjector::sample_interval(Rng& rng) const {
 
 FaultBatch FaultInjector::sample_exact(Rng& rng, std::uint64_t nfaults) const {
   const std::uint64_t total_bits = num_lines_ * bits_per_line_;
+
+  // More faults than bits means there is no set of distinct positions to
+  // sample — the rejection loop below would spin forever. Reachable from a
+  // mis-tuned rare-event stratum or a scenario whose rates were written for
+  // a larger array, so fail loudly instead of hanging the campaign.
+  if (nfaults > total_bits) {
+    std::fprintf(stderr,
+                 "FaultInjector::sample_exact: %" PRIu64
+                 " faults requested but the array has only %" PRIu64
+                 " bits (%" PRIu64 " lines x %u bits/line)\n",
+                 nfaults, total_bits, num_lines_, bits_per_line_);
+    std::abort();
+  }
 
   // Draw distinct flat positions, re-drawing on collision. Rejection
   // sampling conditions the joint distribution on "all positions

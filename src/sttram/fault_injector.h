@@ -42,7 +42,9 @@ class FaultInjector {
   // the rare-event estimator (exp/rare_event), which draws counts from a
   // tilted distribution and reweights: conditioned placement is what makes
   // the count-stratified estimator exactly unbiased. Consumes the same RNG
-  // draws as the placement phase of sample_interval.
+  // draws as the placement phase of sample_interval. Aborts (loudly) when
+  // `nfaults` exceeds the array's bit capacity — there is no valid sample
+  // and the rejection loop would never terminate.
   FaultBatch sample_exact(Rng& rng, std::uint64_t nfaults) const;
 
   // Apply a batch to a stored array (flip the bits).

@@ -30,6 +30,8 @@ ScrubStats& ScrubStats::operator+=(const ScrubStats& o) {
   groups_repaired += o.groups_repaired;
   due_lines += o.due_lines;
   due_line_ids.insert(due_line_ids.end(), o.due_line_ids.begin(), o.due_line_ids.end());
+  repaired_line_ids.insert(repaired_line_ids.end(), o.repaired_line_ids.begin(),
+                           o.repaired_line_ids.end());
   return *this;
 }
 
@@ -221,6 +223,7 @@ bool SudokuController::raid4_reconstruct(std::uint64_t group, int which_hash,
   if (!codec_.fully_clean(acc)) return false;
   array_.write_line(victim, acc);
   ++stats.raid4_repairs;
+  stats.repaired_line_ids.push_back(victim);
   OBS_INC(obs_.repair_raid4);
   return true;
 }
@@ -241,6 +244,7 @@ std::vector<std::uint64_t> SudokuController::repair_group(std::uint64_t group,
       case LineCodec::LineState::kCorrected:
         array_.write_line(line, stored);
         ++stats.ecc1_corrections;
+        stats.repaired_line_ids.push_back(line);
         OBS_INC(obs_.repair_ecc1);
         break;
       case LineCodec::LineState::kUncorrectable:
@@ -290,6 +294,7 @@ std::vector<std::uint64_t> SudokuController::repair_group(std::uint64_t group,
             codec_.fully_clean(trial)) {
           array_.write_line(*it, trial);
           ++stats.sdr_repairs;
+          stats.repaired_line_ids.push_back(*it);
           OBS_INC(obs_.repair_sdr);
           bad.erase(it);
           progress = true;  // mismatch positions changed; recompute
@@ -344,6 +349,7 @@ ScrubStats SudokuController::scrub_lines(std::span<const std::uint64_t> lines) {
       case LineCodec::LineState::kCorrected:
         array_.write_line(line, stored);
         ++stats.ecc1_corrections;
+        stats.repaired_line_ids.push_back(line);
         OBS_INC(obs_.repair_ecc1);
         break;
       case LineCodec::LineState::kUncorrectable:
@@ -436,6 +442,32 @@ ScrubStats SudokuController::scrub_all() {
 
 std::uint64_t SudokuController::plt_storage_bits() const {
   return plt1_.storage_bits() + (plt2_ ? plt2_->storage_bits() : 0);
+}
+
+void SudokuController::rebuild_parities_for(std::span<const std::uint64_t> lines) {
+  std::vector<std::uint64_t> g1, g2;
+  g1.reserve(lines.size());
+  for (const auto line : lines) {
+    g1.push_back(hash_.group1(line));
+    if (plt2_) g2.push_back(hash_.group2(line));
+  }
+  const auto dedup = [](std::vector<std::uint64_t>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+  dedup(g1);
+  dedup(g2);
+  BitVec acc(codec_.total_bits());
+  for (const auto g : g1) {
+    acc.clear();
+    for (const auto line : hash_.members1(g)) array_.xor_line_into(line, acc);
+    plt1_.write(g, acc);
+  }
+  for (const auto g : g2) {
+    acc.clear();
+    for (const auto line : hash_.members2(g)) array_.xor_line_into(line, acc);
+    plt2_->write(g, acc);
+  }
 }
 
 bool SudokuController::parities_consistent() const {

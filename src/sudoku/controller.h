@@ -64,6 +64,11 @@ struct ScrubStats {
   std::uint64_t groups_repaired = 0;     // groups needing RAID machinery
   std::uint64_t due_lines = 0;           // declared uncorrectable
   std::vector<std::uint64_t> due_line_ids;
+  // Every line a repair wrote back (ECC-1 corrections, RAID-4 victims, SDR
+  // resurrections), in repair order, possibly with duplicates. The service
+  // layer's retirement policy consumes this: a line that keeps showing up
+  // here is a repair that did not stick, i.e. a suspected permanent fault.
+  std::vector<std::uint64_t> repaired_line_ids;
 
   ScrubStats& operator+=(const ScrubStats& o);
 };
@@ -123,6 +128,12 @@ class SudokuController {
 
   // Parity storage cost in bits across all PLTs (§VII-H).
   std::uint64_t plt_storage_bits() const;
+
+  // Recompute the parity lines covering the given data lines from stored
+  // state (both hashes). For harnesses that bypass write_data and mutate
+  // the array directly — the scenario MC loop restores lines to golden
+  // this way — so parity is consistent again before the next interval.
+  void rebuild_parities_for(std::span<const std::uint64_t> lines);
 
   // Verify PLT consistency against the stored array (test hook; O(cache)).
   bool parities_consistent() const;

@@ -236,5 +236,23 @@ TEST(FaultInjector, FaultsSpreadAcrossLines) {
   EXPECT_LT(multi * 20, batch.size() + 1);
 }
 
+TEST(FaultInjectorDeathTest, MoreFaultsThanBitsAbortsInsteadOfSpinning) {
+  // A request for more distinct positions than the array has bits has no
+  // valid sample; the rejection sampler used to spin forever. It must now
+  // abort with a diagnostic.
+  FaultInjector inj(2, 8, 0.0);  // 16 bits total
+  Rng rng(1);
+  EXPECT_DEATH(inj.sample_exact(rng, 17), "16 bits");
+}
+
+TEST(FaultInjector, ExactlyFullArrayIsStillValid) {
+  // The boundary case nfaults == total_bits is legal: the sample is "every
+  // bit", reached after finitely many redraws.
+  FaultInjector inj(2, 8, 0.0);
+  Rng rng(1);
+  const auto batch = inj.sample_exact(rng, 16);
+  EXPECT_EQ(FaultInjector::count(batch), 16u);
+}
+
 }  // namespace
 }  // namespace sudoku

@@ -4,26 +4,20 @@
 // controller must instead correct the data on every read, transparently.
 #include <gtest/gtest.h>
 
-#include <set>
 #include <vector>
 
+#include "faults/scenario.h"
 #include "sudoku/controller.h"
 
 namespace sudoku {
 namespace {
 
-struct StuckCell {
-  std::uint64_t line;
-  std::uint32_t bit;
-  bool value;
-};
+using faults::StuckCell;
 
 // Re-impose every stuck cell on the stored array (what the physical cells
 // do continuously).
 void reassert(SudokuController& c, const std::vector<StuckCell>& cells) {
-  for (const auto& s : cells) {
-    if (c.array().test(s.line, s.bit) != s.value) c.array().flip(s.line, s.bit);
-  }
+  faults::assert_cells(c.array(), cells);
 }
 
 SudokuConfig small_config(SudokuLevel level) {

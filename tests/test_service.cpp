@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "faults/scenario.h"
 #include "service/load_gen.h"
 #include "service/service.h"
 #include "sttram/fault_injector.h"
@@ -225,6 +226,161 @@ TEST(ServiceStress, NoLostWritesNoTornLinesUnderConcurrentScrub) {
     fast += s.registry().find_counter("service.read.fast")->value();
   }
   EXPECT_GT(fast, 0u);
+}
+
+// ---- graceful degradation under permanent faults ----------------------
+
+// A mixed permanent/intermittent/transient scenario drives two banks while
+// clients hammer them, with repeat-offender retirement enabled. The
+// service must (a) lose no committed writes, (b) converge — once traffic
+// stops and scrubs observe the stuck cells a few times — to a stable
+// retired-line set, retiring each line exactly once, and (c) serve every
+// line (spare-backed or not) with its last committed payload: degradation
+// without silent corruption.
+TEST(ServiceDegradation, RetiresRepeatOffendersWithoutLosingData) {
+  constexpr std::uint32_t kClients = 6;
+  constexpr std::uint32_t kBanks = 2;
+  constexpr std::uint64_t kLinesPerBank = 1024;
+  constexpr std::uint64_t kOpsPerClient = 1500;
+  constexpr std::uint32_t kStrikes = 3;
+
+  SudokuConfig cfg;
+  cfg.geo.num_lines = kLinesPerBank;
+  cfg.geo.group_size = 32;
+  cfg.level = SudokuLevel::kZ;
+  MemoryService svc({.banks = kBanks,
+                     .repair_workers = 2,
+                     .retire_strikes = kStrikes,
+                     .spare_lines_per_bank = 64},
+                    [&](std::uint32_t) { return make_sudoku_backend(cfg); });
+  const std::uint64_t num_addrs = svc.num_lines();
+  svc.format([&](std::uint32_t bank, std::uint64_t line) {
+    return payload(line * kBanks + bank, 0);
+  });
+
+  // One scenario per bank (distinct seeds): stuck-at + intermittent +
+  // cluster + iid, the "mixed" preset, against this backend's geometry.
+  const faults::Geometry geo{kLinesPerBank, 553};
+  std::vector<faults::FaultScenario> scenarios;
+  for (std::uint32_t bank = 0; bank < kBanks; ++bank) {
+    scenarios.emplace_back(faults::ScenarioSpec::builtin("mixed"), geo,
+                           7000 + bank);
+  }
+
+  std::vector<std::atomic<std::uint64_t>> issued(num_addrs);
+  std::vector<std::atomic<std::uint64_t>> committed(num_addrs);
+  std::atomic<std::uint64_t> violations{0};
+
+  std::atomic<bool> stop_injector{false};
+  std::thread injector_thread([&] {
+    for (std::uint64_t t = 0; !stop_injector.load(std::memory_order_relaxed);
+         ++t) {
+      for (std::uint32_t bank = 0; bank < kBanks; ++bank) {
+        svc.assert_stuck(bank, scenarios[bank].stuck(t).cells(),
+                         /*scrub_async=*/true);
+        svc.inject_faults(bank, scenarios[bank].transient(t),
+                          /*scrub_async=*/true);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  std::vector<ClientStats> stats(kClients);
+  std::vector<std::thread> clients;
+  for (std::uint32_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(4000 + c);
+      BitVec read_buf;
+      for (std::uint64_t op = 0; op < kOpsPerClient; ++op) {
+        const std::uint64_t addr = rng.next_below(num_addrs);
+        const bool owns = addr % kClients == c;
+        if (owns && rng.next_bool(0.5)) {
+          const std::uint64_t seq = issued[addr].load(std::memory_order_relaxed) + 1;
+          issued[addr].store(seq, std::memory_order_release);
+          svc.write(addr, payload(addr, seq), stats[c]);
+          committed[addr].store(seq, std::memory_order_release);
+        } else {
+          const std::uint64_t lb = committed[addr].load(std::memory_order_acquire);
+          const ReadStatus status = svc.read(addr, stats[c], read_buf);
+          const std::uint64_t ub = issued[addr].load(std::memory_order_acquire);
+          if (status == ReadStatus::kDue) continue;  // legitimately lost
+          std::uint64_t seq = 0;
+          if (!payload_intact(read_buf, addr, &seq) || seq < lb || seq > ub) {
+            violations.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  stop_injector.store(true, std::memory_order_relaxed);
+  injector_thread.join();
+  svc.drain();
+  EXPECT_EQ(violations.load(), 0u);
+
+  // Heal anything the fault storm destroyed outright (an owner rewrite is
+  // the application-level recovery for a DUE), then converge: re-assert
+  // the permanent cells and scrub until the retired set stops moving. The
+  // stuck population is constant, so three consecutive dirty sweeps retire
+  // every line whose stuck cells disagree with its payload, and nothing
+  // else accumulates strikes once transients stop.
+  ClientStats final_stats;
+  BitVec buf;
+  for (std::uint64_t addr = 0; addr < num_addrs; ++addr) {
+    if (svc.read(addr, final_stats, buf) == ReadStatus::kDue) {
+      const std::uint64_t seq = issued[addr].load() + 1;
+      issued[addr].store(seq);
+      svc.write(addr, payload(addr, seq), final_stats);
+      committed[addr].store(seq);
+    }
+  }
+  const auto converge_round = [&] {
+    for (std::uint32_t bank = 0; bank < kBanks; ++bank) {
+      svc.assert_stuck(bank, scenarios[bank].stuck(0).cells(),
+                       /*scrub_async=*/false);
+      svc.scrub_bank_now(bank);
+    }
+  };
+  for (int round = 0; round < kStrikes + 1; ++round) converge_round();
+  const DegradationReport before = svc.degradation_report();
+  for (int round = 0; round < kStrikes + 1; ++round) converge_round();
+  const DegradationReport after = svc.degradation_report();
+
+  // Stable set, some lines actually retired, none spilled past the pool.
+  EXPECT_GT(after.retired_mapped, 0u);
+  EXPECT_EQ(after.retired_unmapped, 0u);
+  ASSERT_EQ(before.banks.size(), after.banks.size());
+  for (std::uint32_t bank = 0; bank < kBanks; ++bank) {
+    EXPECT_EQ(before.banks[bank].retired_lines, after.banks[bank].retired_lines)
+        << "retired set must be stable, bank " << bank;
+  }
+  EXPECT_DOUBLE_EQ(after.healthy_fraction(), 1.0);
+
+  // Retirement happened exactly once per line: the counter agrees with the
+  // set cardinality.
+  obs::MetricsRegistry merged;
+  svc.merge_metrics_into(merged);
+  EXPECT_EQ(merged.find_counter("service.retired_lines")->value(),
+            after.retired_mapped + after.retired_unmapped);
+  EXPECT_EQ(merged.find_counter("service.retire.pool_exhausted")->value(), 0u);
+
+  // Zero SDC: every address — spare-served or in place — still returns its
+  // last committed payload.
+  std::uint64_t mismatches = 0;
+  ClientStats audit;
+  for (std::uint64_t addr = 0; addr < num_addrs; ++addr) {
+    const ReadStatus status = svc.read(addr, audit, buf);
+    ASSERT_NE(static_cast<int>(status), static_cast<int>(ReadStatus::kDue))
+        << "addr " << addr;
+    std::uint64_t seq = 0;
+    if (!payload_intact(buf, addr, &seq) || seq != committed[addr].load()) {
+      ++mismatches;
+    }
+  }
+  EXPECT_EQ(mismatches, 0u);
+  // The audit walked every retired line through the spare path.
+  EXPECT_EQ(audit.registry().find_counter("service.read.retired")->value(),
+            after.retired_mapped);
 }
 
 // ---- repair queue -----------------------------------------------------
