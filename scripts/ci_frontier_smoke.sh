@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Frontier Pareto smoke check (docs/frontier.md), run in CI against the
+# Release build:
+#
+#   1. quick frontier run, single-threaded -> artifact must match the
+#      checked-in golden outside the wall-clock "throughput" section
+#   2. the same run at --threads=8 -> byte-identical artifact (the MC
+#      cross-check shards on per-trial seed streams; analytical rows and
+#      timing sims are pure functions of the config)
+#   3. checkpointed run SIGTERM'd mid-flight -> exit 75 ("interrupted,
+#      resumable") or 0, then --resume -> byte-identical artifact again
+#
+# Usage: scripts/ci_frontier_smoke.sh <path-to-bench_frontier_pareto> \
+#          <path-to-artifact_diff> <path-to-golden-dir>
+set -euo pipefail
+
+BENCH=${1:?usage: $0 <bench_frontier_pareto> <artifact_diff> <golden-dir>}
+DIFF=${2:?usage: $0 <bench_frontier_pareto> <artifact_diff> <golden-dir>}
+GOLDEN=${3:?usage: $0 <bench_frontier_pareto> <artifact_diff> <golden-dir>}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== quick frontier, 1 thread, vs golden"
+"$BENCH" --quick --threads=1 --out="$WORK/t1" >/dev/null
+"$DIFF" --ignore=throughput "$GOLDEN/frontier_pareto_quick.json" \
+  "$WORK/t1/frontier_pareto_quick.json"
+
+echo "== quick frontier, 8 threads, must be byte-identical"
+"$BENCH" --quick --threads=8 --out="$WORK/t8" >/dev/null
+python3 - "$WORK/t1/frontier_pareto_quick.json" \
+          "$WORK/t8/frontier_pareto_quick.json" <<'EOF'
+import json, sys
+a = json.load(open(sys.argv[1]))
+b = json.load(open(sys.argv[2]))
+a.pop("throughput", None)
+b.pop("throughput", None)
+if json.dumps(a, sort_keys=True) != json.dumps(b, sort_keys=True):
+    sys.exit("FAIL: --threads=8 artifact differs from --threads=1")
+print("   thread-count invariant")
+EOF
+
+echo "== checkpointed run, SIGTERM mid-flight"
+"$BENCH" --quick --threads=2 --out="$WORK/victim" --checkpoint="$WORK/ckpt" >/dev/null &
+PID=$!
+sleep 0.2
+kill -TERM "$PID" 2>/dev/null || true
+set +e
+wait "$PID"
+STATUS=$?
+set -e
+echo "   interrupted run exited $STATUS"
+if [[ $STATUS -ne 75 && $STATUS -ne 0 ]]; then
+  echo "FAIL: expected exit 75 (interrupted, resumable) or 0 (finished first), got $STATUS"
+  exit 1
+fi
+
+echo "== resume, then vs golden again"
+"$BENCH" --quick --threads=8 --out="$WORK/resumed" \
+  --checkpoint="$WORK/ckpt" --resume >/dev/null
+"$DIFF" --ignore=throughput "$GOLDEN/frontier_pareto_quick.json" \
+  "$WORK/resumed/frontier_pareto_quick.json"
+
+echo "PASS: frontier Pareto deterministic across threads, kill and resume"

@@ -14,6 +14,8 @@ import sys
 def fmt(v):
     if isinstance(v, str):
         return v
+    if not isinstance(v, (int, float)):
+        return "-"
     if v == 0:
         return "0"
     a = abs(v)
@@ -30,11 +32,18 @@ def main(paths):
         except (OSError, ValueError) as e:
             print(f"  {path}: unreadable ({e})", file=sys.stderr)
             continue
-        rows = artifact.get("result", {}).get("paper_comparison")
-        if not rows:
+        # Not every bench compares against a paper number (the frontier
+        # sweep explores beyond the paper's two design points): skip
+        # artifacts without a paper_comparison section, and tolerate any
+        # non-table shape the section might take.
+        result = artifact.get("result")
+        rows = result.get("paper_comparison") if isinstance(result, dict) else None
+        if not isinstance(rows, list) or not rows:
             continue
         print(f"\n  {artifact.get('experiment', path)}")
         for row in rows:
+            if not isinstance(row, dict):
+                continue
             paper, measured = row.get("paper"), row.get("measured")
             ratio = ""
             if isinstance(paper, (int, float)) and paper and measured is not None:

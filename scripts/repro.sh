@@ -89,6 +89,7 @@ ablation_features   T . .
 ablation_inner_ecc  . . .
 scrub_bandwidth     . . metrics.scrub.sweep_wall_ns
 scenario_matrix     T slow .
+frontier_pareto     T . .
 "
 
 if [ "$SKIP_BUILD" -eq 0 ]; then

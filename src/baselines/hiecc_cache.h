@@ -4,65 +4,33 @@
 // budget, which is why its FIT is orders of magnitude worse than SuDoku's
 // (Table XII). The protection unit here is a whole 1 KB region — a DUE
 // loses 16 cache lines at once.
+//
+// Hi-ECC is the (1 KB, t) point of the generalized large-codeword region
+// cache (baselines/region_cache.h, ROADMAP item 5); this class pins that
+// design point and its paper-facing name. The line-granular data path
+// (read_line_data / write_line_data / probe_clean_line / format_lines)
+// and the batched scrub hook are inherited unchanged.
 #pragma once
 
-#include <functional>
-
-#include "baselines/scheme.h"
-#include "codes/bch.h"
+#include "baselines/region_cache.h"
 
 namespace sudoku::baselines {
 
-class HiEccCache final : public CacheScheme {
+class HiEccCache final : public RegionEccCache {
  public:
   // `num_lines` is in 64 B cache lines; internally grouped 16-to-a-region.
-  HiEccCache(std::uint64_t num_lines, int t = 6);
+  explicit HiEccCache(std::uint64_t num_lines, int t = 6)
+      : RegionEccCache(num_lines, kRegionDataBits / 8, t), t_(t) {}
 
-  std::string name() const override;
-  std::uint64_t num_units() const override { return array_.num_lines(); }
-  std::uint32_t bits_per_unit() const override { return array_.bits_per_line(); }
-  SttramArray& array() override { return array_; }
-  const SttramArray& array() const override { return array_; }
-
-  void format_random(Rng& rng) override;
-  BaselineStats scrub_units(std::span<const std::uint64_t> units) override;
-  void restore_unit(std::uint64_t unit, const BitVec& golden_stored) override;
-  double overhead_bits_per_line() const override {
-    return static_cast<double>(bch_.parity_bits()) / 16.0;  // per 64 B line
+  std::string name() const override {
+    return "Hi-ECC(ECC-" + std::to_string(t_) + "/1KB)";
   }
-
-  // ---- line-granular data path (used by the concurrent service) ----
-  // The stored region is a systematic BCH codeword ([data | parity]); line
-  // k of a region occupies data bits [(k % 16)·512, +512). A line read
-  // decodes the whole region (that is Hi-ECC's cost model: one ECC-6 unit
-  // per 1 KB); a line write is a region read-modify-write that re-encodes
-  // the parity.
-  enum class LineReadStatus { kClean, kCorrected, kDue };
-  struct LineRead {
-    BitVec data;  // 512 bits; zero when kDue
-    LineReadStatus status = LineReadStatus::kClean;
-  };
-  std::uint64_t num_data_lines() const { return array_.num_lines() * kLinesPerRegion; }
-  LineRead read_line_data(std::uint64_t line);
-  void write_line_data(std::uint64_t line, const BitVec& data512);
-  // Side-effect-free clean probe for the service's lock-free fast path:
-  // copy line's region into `cw_scratch`; iff its syndromes are clean,
-  // extract the line's data into `data_out` and return true. Tolerates
-  // torn images (caller validates against its seqlock epoch).
-  bool probe_clean_line(std::uint64_t line, BitVec& cw_scratch,
-                        BitVec& data_out) const;
-  // Fill every line from `make_data(line)` (the service's deterministic
-  // format hook; format_random remains the MC harness entry point).
-  void format_lines(const std::function<BitVec(std::uint64_t)>& make_data);
 
   static constexpr std::uint32_t kLinesPerRegion = 16;
   static constexpr std::uint32_t kRegionDataBits = 8192;
-  static constexpr std::uint32_t kLineDataBits = 512;
 
  private:
   int t_;
-  Bch bch_;
-  SttramArray array_;  // one "line" per 1 KB region
 };
 
 }  // namespace sudoku::baselines

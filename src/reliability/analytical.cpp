@@ -249,8 +249,15 @@ FitResult twodp(const CacheParams& c, SdrModel model, std::uint32_t line_bits) {
 }
 
 FitResult hi_ecc(const CacheParams& c, std::uint32_t region_data_bits, int t) {
-  const std::uint32_t region_bits = region_data_bits + 14u * static_cast<std::uint32_t>(t);
-  const double n_regions = static_cast<double>(c.num_lines) * 512.0 / region_data_bits;
+  return region_code_fit(c, region_data_bits, 14u * static_cast<std::uint32_t>(t), t);
+}
+
+FitResult region_code_fit(const CacheParams& c, std::uint64_t data_bits,
+                          std::uint32_t parity_bits, int t) {
+  const std::uint32_t region_bits =
+      static_cast<std::uint32_t>(data_bits) + parity_bits;
+  const double n_regions =
+      static_cast<double>(c.num_lines) * 512.0 / static_cast<double>(data_bits);
   const double lp_region =
       log_p_line_ge(region_bits, static_cast<std::uint32_t>(t) + 1, c.ber);
   const double lp_cache = log_cache_of_units(lp_region, n_regions);

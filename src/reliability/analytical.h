@@ -125,6 +125,17 @@ FitResult twodp(const CacheParams& c, SdrModel model = SdrModel::kStrict,
 // Hi-ECC: ECC-6 over a 1 KB region (Table XII).
 FitResult hi_ecc(const CacheParams& c, std::uint32_t region_data_bits = 8192, int t = 6);
 
+// ---- large-codeword ECC frontier (ROADMAP item 5, docs/frontier.md) ----
+
+// General (n, k, t) region code: a codeword of `data_bits` payload plus
+// `parity_bits` check bits fails when more than t of its n = k + r bits
+// flip within one scrub interval. P(codeword) is lifted to the cache's
+// data capacity: num_lines × 512 data bits split into codewords of
+// `data_bits` each. hi_ecc() is the (8192, 14·t, t) instantiation; the
+// frontier bench sweeps (codes/ecc_design.h) through this.
+FitResult region_code_fit(const CacheParams& c, std::uint64_t data_bits,
+                          std::uint32_t parity_bits, int t);
+
 // ---- SRAM Vmin (Table IV) ----------------------------------------------
 
 // Probability that a 64 MB SRAM cache fails at Vmin with per-cell failure

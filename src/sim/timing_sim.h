@@ -45,6 +45,46 @@ struct SudokuOverheads {
   bool scrub_interferes = false;
 };
 
+// Large-codeword region-ECC data path (ROADMAP item 5, docs/frontier.md):
+// the LLC's contents are protected by one systematic BCH codeword per
+// `region_bytes` of data (codes/ecc_design.h picks the field/parity). The
+// timing cost model charges what the Ramulator2_ECC study measures:
+//
+//  * redundant reads — serving a 64 B demand read requires fetching the
+//    whole codeword (data + parity) from the arrays before it can be
+//    decoded, so (codeword_lines - 1) extra line-reads occupy the bank;
+//  * decode latency — `decode_ns` on the critical path of every region
+//    open;
+//  * decode-latency hiding under streaming access — each core holds one
+//    open (already fetched + decoded) region; accesses that stay inside
+//    it are free, which is exactly why coarse-grained sequential AI/HPC
+//    streams tolerate large codewords while irregular access patterns pay
+//    the full amplification per touch;
+//  * RMW write amplification — a write must re-encode the codeword:
+//    region fetch (unless open) plus a parity write-back on top of the
+//    demand line write.
+//
+// Only demand traffic (hits and miss fills) is charged — the scrub/repair
+// machinery keeps its own model in SudokuOverheads. Disabled by default,
+// so the paper-reproduction benches are unaffected.
+struct RegionEccOverheads {
+  bool enabled = false;
+  std::uint32_t region_bytes = 1024;   // codeword data payload
+  std::uint32_t parity_bits = 84;      // generator degree of the code
+  double decode_ns = 2.0;              // region decode on the open path
+  bool streaming_buffer = true;        // per-core open-region reuse
+  // Decoded codewords each core can hold open at once (LRU). A few entries
+  // let the buffer track the handful of concurrent streams a real stream
+  // buffer covers (e.g. two input tensors + an output tile).
+  std::uint32_t buffer_entries = 4;
+
+  std::uint32_t data_lines() const { return region_bytes / 64; }
+  // Stored bits behind one codeword, in 512-bit line-read equivalents.
+  double codeword_lines() const {
+    return (static_cast<double>(region_bytes) * 8.0 + parity_bits) / 512.0;
+  }
+};
+
 struct SimConfig {
   std::uint32_t num_cores = 8;
   double core_ghz = 3.2;
@@ -65,6 +105,7 @@ struct SimConfig {
   DramConfig dram;                  // DDR3-800 x2 channels (Table VI)
 
   SudokuOverheads sudoku;
+  RegionEccOverheads region;
 
   std::uint64_t instructions_per_core = 2'000'000;
   // Untimed accesses per core that populate the LLC before measurement
@@ -93,6 +134,24 @@ struct SimResult {
   std::uint64_t dram_accesses = 0;
   std::uint64_t scrub_reads = 0;    // modelled scrub traffic volume
   std::uint64_t codec_events = 0;   // CRC/ECC decode or encode operations
+
+  // Region-ECC data path accounting (RegionEccOverheads; all zero when it
+  // is disabled). Demand traffic is what the cores asked for; redundant
+  // and RMW bits are what the large codewords forced on top.
+  std::uint64_t region_demand_bits = 0;     // 512 per demand access
+  std::uint64_t region_redundant_bits = 0;  // codeword fetch minus the line
+  std::uint64_t region_rmw_bits = 0;        // parity write-back on writes
+  std::uint64_t region_opens = 0;           // codeword fetch + decode events
+  std::uint64_t region_buffer_hits = 0;     // open-region reuse (hidden cost)
+
+  // Total stored bits moved per demand bit — the frontier's bandwidth axis.
+  double region_bandwidth_amplification() const {
+    return region_demand_bits
+               ? static_cast<double>(region_demand_bits + region_redundant_bits +
+                                     region_rmw_bits) /
+                     static_cast<double>(region_demand_bits)
+               : 1.0;
+  }
 
   // Busy time accumulated across banks/ports, for the §VII-I bandwidth
   // analysis (PLT must not bottleneck behind the STTRAM it shadows).

@@ -42,6 +42,135 @@ LlcAccess TraceFileReader::next() {
   return acc;
 }
 
+namespace {
+
+// Full-string parse helpers for the strict Ramulator2 grammar: partial
+// consumption ("0x12junk", "12abc") is an error, not a prefix match.
+bool parse_hex_addr(const std::string& tok, std::uint64_t& out) {
+  if (tok.size() < 3 || tok[0] != '0' || (tok[1] != 'x' && tok[1] != 'X')) {
+    return false;
+  }
+  std::uint64_t v = 0;
+  for (std::size_t i = 2; i < tok.size(); ++i) {
+    const char c = tok[i];
+    std::uint64_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint64_t>(c - 'a') + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = static_cast<std::uint64_t>(c - 'A') + 10;
+    } else {
+      return false;
+    }
+    if (v >> 60) return false;  // would overflow the shift
+    v = (v << 4) | digit;
+  }
+  out = v;
+  return true;
+}
+
+bool parse_dec_u64(const std::string& tok, std::uint64_t& out) {
+  if (tok.empty()) return false;
+  std::uint64_t v = 0;
+  for (const char c : tok) {
+    if (c < '0' || c > '9') return false;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (v > (UINT64_MAX - digit) / 10) return false;
+    v = v * 10 + digit;
+  }
+  out = v;
+  return true;
+}
+
+// R/W opcode table shared by Ramulator2 and DRAMsim trace dialects.
+bool parse_opcode(const std::string& tok, bool& is_write) {
+  if (tok == "R" || tok == "READ" || tok == "LD") {
+    is_write = false;
+    return true;
+  }
+  if (tok == "W" || tok == "WRITE" || tok == "ST") {
+    is_write = true;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Ramulator2TraceReader::Ramulator2TraceReader(const std::string& path)
+    : path_(path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open trace file: " + path);
+  const auto fail = [&path](std::size_t lineno, const std::string& what) {
+    throw std::runtime_error(path + ":" + std::to_string(lineno) + ": " + what);
+  };
+  std::string line;
+  std::size_t lineno = 0;
+  std::uint64_t prev_cycle = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ss(line);
+    std::vector<std::string> tokens;
+    std::string tok;
+    while (ss >> tok) tokens.push_back(tok);
+    if (tokens.empty()) continue;  // blank or comment-only line
+    if (tokens.size() == 1) {
+      fail(lineno, "truncated record '" + tokens[0] +
+                       "' (expected '<0xADDR> <R|W|READ|WRITE|LD|ST> "
+                       "[<cycle>]')");
+    }
+    if (tokens.size() > 3) {
+      fail(lineno, "trailing junk after '" + tokens[2] + "'");
+    }
+    LlcAccess acc;
+    if (!parse_hex_addr(tokens[0], acc.addr)) {
+      fail(lineno, "bad address '" + tokens[0] +
+                       "' (need 0x-prefixed hex fitting 64 bits)");
+    }
+    if (!parse_opcode(tokens[1], acc.is_write)) {
+      fail(lineno, "bad opcode '" + tokens[1] +
+                       "' (expected R, W, READ, WRITE, LD or ST)");
+    }
+    const bool row_has_cycle = tokens.size() == 3;
+    if (records_.empty()) {
+      has_cycles_ = row_has_cycle;
+    } else if (row_has_cycle != has_cycles_) {
+      fail(lineno, has_cycles_ ? "missing cycle column (earlier records have one)"
+                               : "unexpected cycle column (earlier records have none)");
+    }
+    if (row_has_cycle) {
+      std::uint64_t cycle = 0;
+      if (!parse_dec_u64(tokens[2], cycle)) {
+        fail(lineno, "bad cycle '" + tokens[2] + "' (need a decimal uint64)");
+      }
+      if (cycle < prev_cycle) {
+        fail(lineno, "decreasing cycle " + tokens[2] + " (previous was " +
+                         std::to_string(prev_cycle) + ")");
+      }
+      const std::uint64_t gap = cycle - (records_.empty() ? cycle : prev_cycle);
+      acc.gap_instructions = gap > UINT32_MAX
+                                 ? UINT32_MAX
+                                 : static_cast<std::uint32_t>(gap);
+      prev_cycle = cycle;
+    } else {
+      acc.gap_instructions = 0;  // back-to-back, memory-bound stream
+    }
+    records_.push_back(acc);
+  }
+  if (records_.empty()) {
+    throw std::runtime_error("trace file has no records: " + path);
+  }
+}
+
+LlcAccess Ramulator2TraceReader::next() {
+  const LlcAccess acc = records_[pos_];
+  pos_ = (pos_ + 1) % records_.size();
+  return acc;
+}
+
 bool write_trace(const std::string& path, AccessSource& source, std::uint64_t count) {
   std::ofstream out(path);
   if (!out) return false;
@@ -58,8 +187,12 @@ bool write_trace(const std::string& path, AccessSource& source, std::uint64_t co
 std::unique_ptr<AccessSource> make_source(const std::string& spec, std::uint32_t core_id,
                                           std::uint64_t seed) {
   constexpr const char kFilePrefix[] = "file:";
+  constexpr const char kRamPrefix[] = "ram:";
   if (spec.rfind(kFilePrefix, 0) == 0) {
     return std::make_unique<TraceFileReader>(spec.substr(sizeof(kFilePrefix) - 1));
+  }
+  if (spec.rfind(kRamPrefix, 0) == 0) {
+    return std::make_unique<Ramulator2TraceReader>(spec.substr(sizeof(kRamPrefix) - 1));
   }
   return std::make_unique<GeneratorSource>(find_benchmark(spec), core_id, seed);
 }

@@ -1,12 +1,31 @@
-// Trace file I/O in a USIMM-like text format, so captured LLC traces can
-// replace the synthetic generators:
+// Trace file I/O, so captured LLC traces can replace the synthetic
+// generators. Two on-disk formats are supported behind one AccessSource
+// interface:
 //
-//   <gap_instructions> <R|W> <hex_address>
+//  * USIMM-like (TraceFileReader, spec "file:<path>"):
+//        <gap_instructions> <R|W> <hex_address>
+//    one access per line, '#' comments allowed.
 //
-// one access per line, '#' comments allowed. The reader loops the file so
-// short traces can drive long simulations (as USIMM does on trace
-// exhaustion); the writer serialises any AccessSource, which also lets the
-// synthetic generators be materialised into files for inspection or reuse.
+//  * Ramulator2/DRAMsim-style memory request traces
+//    (Ramulator2TraceReader, spec "ram:<path>"):
+//        <0xHEXADDR> <R|W|READ|WRITE|LD|ST> [<cycle>]
+//    one request per line, '#' comments and blank lines allowed. The
+//    address must carry a 0x prefix; the optional third column is the
+//    issue cycle and must be non-decreasing — its per-record delta becomes
+//    LlcAccess::gap_instructions (capped at 2^32-1). A trace either has a
+//    cycle column on every record or on none (mixed rows are rejected);
+//    without one, requests are back-to-back (gap 0), the memory-bound
+//    streaming shape of the Ramulator2_ECC AI workloads. Parsing is
+//    strict: truncated lines, non-hex or unprefixed addresses, unknown
+//    opcodes, trailing junk, overflow, decreasing cycles, and traces with
+//    no records all raise std::runtime_error with a path:line diagnostic.
+//
+// Both readers loop the file on exhaustion so short traces can drive long
+// simulations (as USIMM does): after the last record the reader wraps to
+// the first and replays the same gaps/addresses cyclically. The writer
+// serialises any AccessSource in the USIMM-like format, which also lets
+// the synthetic generators be materialised into files for inspection or
+// reuse.
 #pragma once
 
 #include <cstdint>
@@ -55,11 +74,31 @@ class TraceFileReader final : public AccessSource {
   std::size_t pos_ = 0;
 };
 
+// Ramulator2/DRAMsim-style request-trace reader (format documented at the
+// top of this header). Loads the whole trace into memory and replays it
+// cyclically; throws std::runtime_error on any malformed input.
+class Ramulator2TraceReader final : public AccessSource {
+ public:
+  explicit Ramulator2TraceReader(const std::string& path);
+
+  LlcAccess next() override;
+  std::string name() const override { return path_; }
+  std::size_t size() const { return records_.size(); }
+  bool has_cycles() const { return has_cycles_; }
+
+ private:
+  std::string path_;
+  std::vector<LlcAccess> records_;
+  std::size_t pos_ = 0;
+  bool has_cycles_ = false;
+};
+
 // Write `count` accesses from a source to `path`. Returns false on I/O
 // failure.
 bool write_trace(const std::string& path, AccessSource& source, std::uint64_t count);
 
-// Resolve a benchmark spec to a source: "file:<path>" loads a trace file,
+// Resolve a benchmark spec to a source: "file:<path>" loads a USIMM-like
+// trace file, "ram:<path>" a Ramulator2/DRAMsim-style request trace,
 // anything else looks up the synthetic roster by name.
 std::unique_ptr<AccessSource> make_source(const std::string& spec, std::uint32_t core_id,
                                           std::uint64_t seed);

@@ -228,7 +228,10 @@ TEST_P(BatchBch, DecodeWithSyndromesMatchesDecode) {
 
 INSTANTIATE_TEST_SUITE_P(Strengths, BatchBch, ::testing::Values(2, 3, 6),
                          [](const ::testing::TestParamInfo<int>& info) {
-                           return "t" + std::to_string(info.param);
+                           // Lvalue operand: the char* + string&& overload hits
+                           // GCC 12's -Wrestrict false positive (PR 105329).
+                           const std::string t = std::to_string(info.param);
+                           return "t" + t;
                          });
 
 TEST(BatchCodec, HiEccWidthBatchSyndromesMatchOracle) {

@@ -153,7 +153,9 @@ TEST(BitVec, GetBitsMatchesPerBitReads) {
         EXPECT_EQ((got >> b) & 1u, v.test(pos + b) ? 1u : 0u)
             << "pos " << pos << " nbits " << nbits << " b " << b;
       }
-      if (nbits < 64) EXPECT_EQ(got >> nbits, 0u);
+      if (nbits < 64) {
+        EXPECT_EQ(got >> nbits, 0u);
+      }
     }
   }
 }

@@ -184,7 +184,10 @@ TEST_P(BchKernels, DecodeOutcomesLawfulUnderRandomMasks) {
 
 INSTANTIATE_TEST_SUITE_P(Strengths, BchKernels, ::testing::Values(1, 2, 3, 6),
                          [](const ::testing::TestParamInfo<int>& info) {
-                           return "t" + std::to_string(info.param);
+                           // Lvalue operand: the char* + string&& overload hits
+                           // GCC 12's -Wrestrict false positive (PR 105329).
+                           const std::string t = std::to_string(info.param);
+                           return "t" + t;
                          });
 
 TEST(CodecKernels, HiEccWidthBchSyndromesMatchReference) {

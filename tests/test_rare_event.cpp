@@ -37,7 +37,9 @@ TEST(RareEventPlan, DeterministicAndCoversTheTargetSupport) {
     EXPECT_EQ(a.strata[i].count, b.strata[i].count);
     EXPECT_EQ(a.strata[i].trials, b.strata[i].trials);
     EXPECT_GE(a.strata[i].trials, params.min_stratum_trials);
-    if (i > 0) EXPECT_GT(a.strata[i].count, a.strata[i - 1].count);
+    if (i > 0) {
+      EXPECT_GT(a.strata[i].count, a.strata[i - 1].count);
+    }
     total += a.strata[i].trials;
   }
   EXPECT_EQ(a.strata.front().count, params.min_count);

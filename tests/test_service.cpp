@@ -341,9 +341,9 @@ TEST(ServiceDegradation, RetiresRepeatOffendersWithoutLosingData) {
       svc.scrub_bank_now(bank);
     }
   };
-  for (int round = 0; round < kStrikes + 1; ++round) converge_round();
+  for (std::uint32_t round = 0; round < kStrikes + 1; ++round) converge_round();
   const DegradationReport before = svc.degradation_report();
-  for (int round = 0; round < kStrikes + 1; ++round) converge_round();
+  for (std::uint32_t round = 0; round < kStrikes + 1; ++round) converge_round();
   const DegradationReport after = svc.degradation_report();
 
   // Stable set, some lines actually retired, none spilled past the pool.

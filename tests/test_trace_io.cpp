@@ -123,5 +123,144 @@ TEST_F(TraceIoTest, TimingSimulatorRunsFromTraceFile) {
   std::remove(path.c_str());
 }
 
+// ---------------------------------------------------------------------------
+// Ramulator2/DRAMsim-style reader ("ram:" spec): strict-grammar battery.
+
+class Ram2TraceTest : public TraceIoTest {
+ protected:
+  std::string write_file(const std::string& body) {
+    const std::string path = tmp_path();
+    std::ofstream out(path);
+    out << body;
+    return path;
+  }
+};
+
+TEST_F(Ram2TraceTest, ParsesNoCycleFormatWithOpcodeAliases) {
+  const std::string path = write_file(
+      "# header\n"
+      "0x1000 R\n"
+      "0x1040 LD\n"
+      "0x2000 W\n"
+      "0x2040 ST\n"
+      "0x3000 READ\n"
+      "0x3040 WRITE\n");
+  Ramulator2TraceReader reader(path);
+  EXPECT_EQ(reader.size(), 6u);
+  EXPECT_FALSE(reader.has_cycles());
+  const bool expect_write[] = {false, false, true, true, false, true};
+  const std::uint64_t expect_addr[] = {0x1000, 0x1040, 0x2000,
+                                       0x2040, 0x3000, 0x3040};
+  for (int i = 0; i < 6; ++i) {
+    const auto acc = reader.next();
+    EXPECT_EQ(acc.addr, expect_addr[i]) << i;
+    EXPECT_EQ(acc.is_write, expect_write[i]) << i;
+    // Without a cycle column requests are back-to-back.
+    EXPECT_EQ(acc.gap_instructions, 0u) << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(Ram2TraceTest, CycleColumnBecomesGapDeltas) {
+  const std::string path = write_file(
+      "0x100 R 100\n"
+      "0x140 R 130\n"
+      "0x180 W 130\n"   // equal cycle: gap 0 is legal
+      "0x1c0 R 200\n");
+  Ramulator2TraceReader reader(path);
+  ASSERT_EQ(reader.size(), 4u);
+  EXPECT_TRUE(reader.has_cycles());
+  EXPECT_EQ(reader.next().gap_instructions, 0u);   // first record
+  EXPECT_EQ(reader.next().gap_instructions, 30u);
+  EXPECT_EQ(reader.next().gap_instructions, 0u);
+  EXPECT_EQ(reader.next().gap_instructions, 70u);
+  std::remove(path.c_str());
+}
+
+TEST_F(Ram2TraceTest, LoopsOnExhaustion) {
+  const std::string path = write_file("0xa0 R\n0xb0 W\n");
+  Ramulator2TraceReader reader(path);
+  const auto a = reader.next();
+  reader.next();
+  const auto c = reader.next();  // wraps to the first record
+  EXPECT_EQ(c.addr, a.addr);
+  EXPECT_EQ(c.is_write, a.is_write);
+  std::remove(path.c_str());
+}
+
+// Each malformed shape must raise std::runtime_error with a path:line
+// diagnostic, not be silently skipped or prefix-parsed.
+TEST_F(Ram2TraceTest, MalformedTracesThrowWithDiagnostics) {
+  const struct {
+    const char* label;
+    const char* body;
+  } kCases[] = {
+      {"truncated record", "0x1000\n"},
+      {"bad opcode", "0x1000 X\n"},
+      {"lowercase opcode", "0x1000 r\n"},
+      {"missing 0x prefix", "1000 R\n"},
+      {"non-hex address", "0xZZZZ R\n"},
+      {"hex junk suffix", "0x12fg R\n"},
+      {"address overflow", "0x10000000000000000 R\n"},
+      {"trailing junk", "0x1000 R 5 extra\n"},
+      {"bad cycle", "0x1000 R notanumber\n"},
+      {"cycle overflow", "0x1000 R 99999999999999999999\n"},
+      {"decreasing cycle", "0x1000 R 100\n0x1040 R 50\n"},
+      {"cycle column appears late", "0x1000 R\n0x1040 R 10\n"},
+      {"cycle column disappears", "0x1000 R 10\n0x1040 R\n"},
+      {"empty file", ""},
+      {"comment-only file", "# nothing here\n\n# still nothing\n"},
+  };
+  for (const auto& c : kCases) {
+    const std::string path = write_file(c.body);
+    try {
+      Ramulator2TraceReader reader(path);
+      FAIL() << "expected throw for: " << c.label;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+          << c.label << ": diagnostic should name the file, got: " << e.what();
+    }
+    std::remove(path.c_str());
+  }
+  EXPECT_THROW(Ramulator2TraceReader{"/nonexistent/trace.txt"},
+               std::runtime_error);
+}
+
+TEST_F(Ram2TraceTest, CheckedInTracesParse) {
+  Ramulator2TraceReader ai(std::string(SUDOKU_TRACES_DIR) + "/ai_stream.trace");
+  EXPECT_FALSE(ai.has_cycles());
+  EXPECT_GE(ai.size(), 64u);
+  Ramulator2TraceReader hpc(std::string(SUDOKU_TRACES_DIR) + "/hpc_mix.trace");
+  EXPECT_TRUE(hpc.has_cycles());
+  EXPECT_GE(hpc.size(), 64u);
+}
+
+TEST_F(Ram2TraceTest, MakeSourceRamPrefixDispatches) {
+  const std::string path = write_file("0x40 R\n");
+  const auto src = make_source("ram:" + path, 0, 1);
+  EXPECT_EQ(src->next().addr, 0x40u);
+  EXPECT_EQ(src->name(), path);
+  std::remove(path.c_str());
+}
+
+TEST_F(Ram2TraceTest, TimingSimulatorRunsFromRamTraceWithRegionEcc) {
+  // End-to-end: the streaming trace drives the sim with the large-codeword
+  // region path enabled; the sequential stream should mostly reuse open
+  // regions (decode hiding), so buffer hits dominate opens.
+  SimConfig cfg;
+  cfg.num_cores = 2;
+  cfg.instructions_per_core = 20'000;
+  cfg.llc.size_bytes = 2ull << 20;
+  cfg.region.enabled = true;
+  cfg.region.region_bytes = 1024;
+  cfg.region.parity_bits = 84;
+  const auto res = TimingSimulator(cfg).run(
+      {"ram:" + std::string(SUDOKU_TRACES_DIR) + "/ai_stream.trace"});
+  EXPECT_GT(res.total_time_ns, 0.0);
+  EXPECT_GT(res.region_opens, 0u);
+  EXPECT_GT(res.region_buffer_hits, res.region_opens);
+  EXPECT_GT(res.region_bandwidth_amplification(), 1.0);
+}
+
 }  // namespace
 }  // namespace sudoku::sim
